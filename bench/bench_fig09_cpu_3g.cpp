@@ -1,0 +1,36 @@
+// Figure 9: CPU utilisation with the 3-Gigabit NIC. Irqbalance burns more
+// CPU cycles on data movement than SAIs; utilisation rises roughly with
+// network speed (the paper's suspected linear relation, verified by the
+// §VI simulation).
+#include "figure_common.hpp"
+
+using namespace saisim;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  bench::print_figure_header(
+      "Figure 9 — CPU utilisation, 3-Gigabit NIC",
+      "Irqbalance employs more CPU cycles on data movement than SAIs; "
+      "utilisation grows with network bandwidth.");
+
+  stats::Table t({"servers", "transfer", "util_irqbalance_%", "util_sais_%"});
+  int irq_higher = 0;
+  int total = 0;
+  for (const auto& p : bench::grid_results(3.0)) {
+    const double irq = p.comparison.baseline.cpu_utilization * 100.0;
+    const double sais = p.comparison.sais.cpu_utilization * 100.0;
+    t.add_row({i64{p.servers}, bench::transfer_name(p.transfer), irq, sais});
+    irq_higher += irq > sais ? 1 : 0;
+    ++total;
+  }
+  bench::print_table(t);
+  std::printf(
+      "\nIrqbalance utilisation above SAIs in %d/%d points (paper: "
+      "consistently higher — extra cycles go to data movement)\n",
+      irq_higher, total);
+
+  bench::register_grid_benchmarks("fig09", 3.0);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 12: multi-client scalability. 8 I/O servers, 4-56 client nodes,
+// 1M transfers over 3-Gigabit client NICs. Aggregate bandwidth is summed
+// over all clients; the SAIs speed-up peaks at 8 clients (20.46%) — the
+// point where 8 servers are saturated — and shrinks as more clients cut
+// each client's request rate N_R (the equation (5)/(6) regime).
+#include "figure_common.hpp"
+
+using namespace saisim;
+
+namespace {
+
+struct PaperPoint {
+  int clients;
+  double speedup_pct;
+};
+// Speed-up series read off Figure 12.
+constexpr PaperPoint kPaper[] = {{4, 14.82}, {8, 20.46},  {16, 16.23},
+                                 {24, 8.72}, {32, 5.38},  {48, 3.16},
+                                 {56, 1.39}};
+
+ExperimentConfig multiclient_config(int clients) {
+  ExperimentConfig cfg = bench::figure_config(3.0, /*servers=*/8,
+                                              /*transfer=*/1ull << 20,
+                                              /*bytes_per_proc=*/4ull << 20);
+  cfg.num_clients = clients;
+  // The testbed's compute nodes (the I/O servers here) also have three
+  // 1-Gigabit ports, and with dozens of clients re-reading striped files
+  // the servers serve mostly from their buffer caches — the paper's
+  // aggregate reaches 2300 MB/s, far beyond 8 spindles. The bottleneck
+  // that caps Figure 12 is the servers' network egress.
+  cfg.server.nic_bandwidth = Bandwidth::gbit(3.0);
+  cfg.server.io.cache_hit_ratio = 0.9;
+  return cfg;
+}
+
+const std::vector<std::pair<int, Comparison>>& results() {
+  static std::vector<std::pair<int, Comparison>> cache;
+  if (!cache.empty()) return cache;
+  for (const auto& pp : kPaper) {
+    cache.emplace_back(pp.clients, compare_policies(multiclient_config(pp.clients)));
+    std::fputc('.', stderr);
+    std::fflush(stderr);
+  }
+  std::fputc('\n', stderr);
+  return cache;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  bench::print_figure_header(
+      "Figure 12 — multi-client I/O bandwidth (8 I/O servers, transfer 1M)",
+      "aggregate bandwidth grows with clients while per-client bandwidth "
+      "falls; SAIs speed-up peaks at 8 clients (20.46%) then declines to "
+      "1.39% at 56 clients as the server NICs saturate.");
+
+  stats::Table t({"clients", "bw_irqbalance_MB/s", "bw_sais_MB/s",
+                  "speedup_%", "paper_speedup_%"});
+  double peak = 0.0;
+  int peak_clients = 0;
+  for (u64 i = 0; i < results().size(); ++i) {
+    const auto& [clients, c] = results()[i];
+    t.add_row({i64{clients}, c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
+               c.bandwidth_speedup_pct, kPaper[i].speedup_pct});
+    if (c.bandwidth_speedup_pct > peak) {
+      peak = c.bandwidth_speedup_pct;
+      peak_clients = clients;
+    }
+  }
+  bench::print_table(t);
+  std::printf(
+      "\nmeasured peak speed-up %.2f%% at %d clients (paper: 20.46%% at 8); "
+      "speed-up declines beyond the peak as servers saturate.\n",
+      peak, peak_clients);
+
+  for (const auto& pp : kPaper) {
+    for (PolicyKind policy :
+         {PolicyKind::kIrqbalance, PolicyKind::kSourceAware}) {
+      const std::string name = "fig12/" + std::to_string(pp.clients) +
+                               "clients/" + std::string(policy_name(policy));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [clients = pp.clients, policy](benchmark::State& state) {
+            RunMetrics m;
+            for (auto _ : state) {
+              ExperimentConfig cfg = multiclient_config(clients);
+              cfg.policy = policy;
+              m = run_experiment(cfg);
+            }
+            state.counters["bandwidth_MBps"] = m.bandwidth_mbps;
+            state.counters["per_client_MBps"] =
+                m.bandwidth_mbps / clients;
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

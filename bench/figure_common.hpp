@@ -1,0 +1,126 @@
+// Shared plumbing for the per-figure benchmark harnesses.
+//
+// Every figure binary: (1) runs its sweep through the simulator, (2) prints
+// the series the paper plots next to our measured values, (3) registers the
+// sweep points as google-benchmark entries so standard tooling
+// (--benchmark_format=json etc.) can consume the metrics as counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace saisim::bench {
+
+/// The paper's evaluation grid (§V.B): PVFS server counts and IOR transfer
+/// sizes.
+inline const std::vector<int>& server_grid() {
+  static const std::vector<int> g{8, 16, 32, 48};
+  return g;
+}
+inline const std::vector<u64>& transfer_grid() {
+  static const std::vector<u64> g{128ull << 10, 512ull << 10, 1ull << 20,
+                                  2ull << 20};
+  return g;
+}
+
+inline std::string transfer_name(u64 bytes) {
+  return std::to_string(bytes >> 10) + "K";
+}
+
+/// Baseline experiment configuration for the single-client figures.
+/// `gbit` selects the 1-Gigabit or bonded 3-Gigabit client NIC.
+inline ExperimentConfig figure_config(double gbit, int servers, u64 transfer,
+                                      u64 bytes_per_proc = 8ull << 20) {
+  ExperimentConfig cfg;
+  cfg.num_servers = servers;
+  cfg.client.nic_bandwidth = Bandwidth::gbit(gbit);
+  cfg.client.nic.queues = gbit > 1.5 ? 3 : 1;
+  cfg.ior.transfer_size = transfer;
+  cfg.ior.total_bytes = bytes_per_proc;
+  return cfg;
+}
+
+struct GridPoint {
+  int servers = 0;
+  u64 transfer = 0;
+  Comparison comparison;
+};
+
+/// Run the full (servers x transfer) grid at one NIC speed, with progress
+/// dots on stderr. Results are cached per-process so the table phase and
+/// the google-benchmark phase do not re-simulate.
+inline const std::vector<GridPoint>& grid_results(double gbit) {
+  static std::map<int, std::vector<GridPoint>> cache;
+  const int key = static_cast<int>(gbit * 10);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  std::vector<GridPoint> out;
+  for (int servers : server_grid()) {
+    for (u64 transfer : transfer_grid()) {
+      GridPoint p;
+      p.servers = servers;
+      p.transfer = transfer;
+      p.comparison = compare_policies(figure_config(gbit, servers, transfer));
+      out.push_back(std::move(p));
+      std::fputc('.', stderr);
+      std::fflush(stderr);
+    }
+  }
+  std::fputc('\n', stderr);
+  return cache.emplace(key, std::move(out)).first->second;
+}
+
+/// Register one google-benchmark entry per grid point and policy; each
+/// entry runs the simulation for that point once and exports the metrics
+/// as counters (so --benchmark_format=json yields machine-readable data).
+inline void register_grid_benchmarks(const char* prefix, double gbit) {
+  for (int servers : server_grid()) {
+    for (u64 transfer : transfer_grid()) {
+      for (PolicyKind policy :
+           {PolicyKind::kIrqbalance, PolicyKind::kSourceAware}) {
+        const std::string name =
+            std::string(prefix) + "/" + std::to_string(servers) + "nodes/" +
+            transfer_name(transfer) + "/" + std::string(policy_name(policy));
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [gbit, servers, transfer, policy](benchmark::State& state) {
+              RunMetrics m;
+              for (auto _ : state) {
+                ExperimentConfig cfg =
+                    figure_config(gbit, servers, transfer, 4ull << 20);
+                cfg.policy = policy;
+                m = run_experiment(cfg);
+              }
+              state.counters["bandwidth_MBps"] = m.bandwidth_mbps;
+              state.counters["l2_miss_pct"] = m.l2_miss_rate * 100.0;
+              state.counters["cpu_util_pct"] = m.cpu_utilization * 100.0;
+              state.counters["unhalted_Gcycles"] = m.unhalted_cycles / 1e9;
+              state.counters["interrupts"] = static_cast<double>(m.interrupts);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+/// Print a figure header with the paper's headline numbers for context.
+inline void print_figure_header(const char* figure, const char* claim) {
+  std::printf("\n=== %s ===\n", figure);
+  std::printf("paper: %s\n\n", claim);
+}
+
+inline void print_table(const stats::Table& t) {
+  std::fputs(t.to_text().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace saisim::bench

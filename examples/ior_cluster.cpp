@@ -1,0 +1,80 @@
+// A configurable cluster experiment, in the spirit of running IOR against
+// PVFS with a chosen interrupt-scheduling policy:
+//
+//   $ ./ior_cluster [servers] [transfer_KiB] [nic_gbit] [policy] [procs]
+//   $ ./ior_cluster 48 2048 3 source-aware 4
+//
+// Policies: round-robin | dedicated | irqbalance | irqbalance-epoch |
+//           source-aware
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiment.hpp"
+
+using namespace saisim;
+
+namespace {
+
+PolicyKind parse_policy(const char* s) {
+  for (PolicyKind k :
+       {PolicyKind::kRoundRobin, PolicyKind::kDedicated,
+        PolicyKind::kIrqbalance, PolicyKind::kIrqbalanceEpoch,
+        PolicyKind::kSourceAware}) {
+    if (policy_name(k) == s) return k;
+  }
+  std::fprintf(stderr, "unknown policy '%s', using irqbalance\n", s);
+  return PolicyKind::kIrqbalance;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.num_servers = argc > 1 ? std::atoi(argv[1]) : 16;
+  cfg.ior.transfer_size =
+      (argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024) << 10;
+  const double gbit = argc > 3 ? std::atof(argv[3]) : 3.0;
+  cfg.client.nic_bandwidth = Bandwidth::gbit(gbit);
+  cfg.client.nic.queues = gbit > 1.5 ? 3 : 1;
+  cfg.policy = argc > 4 ? parse_policy(argv[4]) : PolicyKind::kSourceAware;
+  cfg.procs_per_client = argc > 5 ? std::atoi(argv[5]) : 4;
+  cfg.ior.total_bytes = 16ull << 20;
+
+  std::printf(
+      "cluster: %d I/O servers (64 KiB strips), %d-core client @2.7 GHz, "
+      "%.0f Gb/s NIC\nworkload: %d IOR readers, %llu KiB transfers, %llu "
+      "MiB each\npolicy:  %s\n\n",
+      cfg.num_servers, cfg.client.cores, gbit, cfg.procs_per_client,
+      static_cast<unsigned long long>(cfg.ior.transfer_size >> 10),
+      static_cast<unsigned long long>(cfg.ior.total_bytes >> 20),
+      std::string(policy_name(cfg.policy)).c_str());
+
+  const RunMetrics m = run_experiment(cfg);
+
+  std::printf("aggregate read bandwidth : %9.2f MB/s\n", m.bandwidth_mbps);
+  std::printf("simulated wall time      : %9.2f ms\n",
+              m.elapsed.milliseconds());
+  std::printf("L2 miss rate             : %9.2f %%\n",
+              m.l2_miss_rate * 100.0);
+  std::printf("CPU utilisation          : %9.2f %%\n",
+              m.cpu_utilization * 100.0);
+  std::printf("CPU_CLK_UNHALTED         : %9.3f Gcycles (softirq %.3f)\n",
+              m.unhalted_cycles / 1e9, m.softirq_cycles / 1e9);
+  std::printf("NIC interrupts           : %9llu\n",
+              static_cast<unsigned long long>(m.interrupts));
+  std::printf("cache-to-cache transfers : %9llu lines\n",
+              static_cast<unsigned long long>(m.c2c_transfers));
+  std::printf("mean read latency        : %9.2f us\n",
+              m.mean_read_latency_us);
+  if (m.retransmits > 0 || m.rx_drops > 0) {
+    std::printf("rx drops / retransmits   : %llu / %llu\n",
+                static_cast<unsigned long long>(m.rx_drops),
+                static_cast<unsigned long long>(m.retransmits));
+  }
+  if (m.hinted_interrupt_share_x1e4 > 0) {
+    std::printf("hint-steered interrupts  : %9.2f %%\n",
+                static_cast<double>(m.hinted_interrupt_share_x1e4) / 100.0);
+  }
+  return 0;
+}

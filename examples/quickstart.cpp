@@ -1,0 +1,49 @@
+// Quickstart: build a simulated PVFS cluster, run the same IOR read
+// workload under irqbalance and under SAIs, and print the four metrics the
+// paper evaluates.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+using namespace saisim;
+
+int main() {
+  // A client with two quad-core 2.7 GHz Opterons and a bonded 3-Gigabit
+  // NIC, reading from 16 PVFS I/O servers with 64 KiB strips — the paper's
+  // §V.A testbed, scaled to a few seconds of simulated time.
+  ExperimentConfig cfg;
+  cfg.num_servers = 16;
+  cfg.client.nic_bandwidth = Bandwidth::gbit(3.0);
+  cfg.client.nic.queues = 3;
+  cfg.ior.transfer_size = 1ull << 20;  // 1 MiB IOR transfers
+  cfg.ior.total_bytes = 16ull << 20;   // per process
+  cfg.procs_per_client = 4;
+
+  std::printf("running %d IOR processes against %d PVFS servers...\n",
+              cfg.procs_per_client, cfg.num_servers);
+
+  const Comparison c = compare_policies(cfg, PolicyKind::kIrqbalance);
+
+  auto show = [](const char* name, const RunMetrics& m) {
+    std::printf(
+        "%-12s bandwidth %7.2f MB/s | L2 miss %5.2f%% | CPU util %5.2f%% | "
+        "unhalted %.2fe9 cycles | c2c transfers %llu\n",
+        name, m.bandwidth_mbps, m.l2_miss_rate * 100.0,
+        m.cpu_utilization * 100.0, m.unhalted_cycles / 1e9,
+        static_cast<unsigned long long>(m.c2c_transfers));
+  };
+  show("irqbalance", c.baseline);
+  show("SAIs", c.sais);
+
+  std::printf(
+      "\nSAIs speed-up: %+.2f%% bandwidth, %+.2f%% fewer L2 misses, "
+      "%+.2f%% fewer unhalted cycles\n",
+      c.bandwidth_speedup_pct, c.miss_rate_reduction_pct,
+      c.unhalted_reduction_pct);
+  std::printf(
+      "(the paper's headline: +23.57%% bandwidth at 48 servers on the "
+      "3-Gigabit NIC)\n");
+  return 0;
+}

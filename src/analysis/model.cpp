@@ -1,0 +1,33 @@
+#include "analysis/model.hpp"
+
+namespace saisim::analysis {
+
+ModelParams params_from_system(u64 strip_bytes, u64 line_bytes,
+                               Cycles per_line_c2c, Cycles per_line_hit,
+                               Cycles per_packet, i64 per_byte_centicycles,
+                               Frequency freq, int num_cores, int num_servers,
+                               i64 num_requests, int num_programs, Time rest) {
+  SAISIM_CHECK(line_bytes > 0 && strip_bytes >= line_bytes);
+  const i64 lines = static_cast<i64>(strip_bytes / line_bytes);
+
+  // P: protocol processing of one strip on the right core — per-packet
+  // driver work, per-byte stack work, and hot-line touches.
+  const Cycles p_cycles =
+      per_packet +
+      Cycles{static_cast<i64>(strip_bytes) * per_byte_centicycles / 100} +
+      per_line_hit * lines;
+  // M: dragging one strip's lines across the die.
+  const Cycles m_cycles = per_line_c2c * lines;
+
+  ModelParams params;
+  params.num_cores = num_cores;
+  params.num_servers = num_servers;
+  params.num_requests = num_requests;
+  params.num_programs = num_programs;
+  params.strip_processing = freq.duration(p_cycles);
+  params.strip_migration = freq.duration(m_cycles);
+  params.rest = rest;
+  return params;
+}
+
+}  // namespace saisim::analysis

@@ -1,0 +1,119 @@
+// The paper's §III quantitative model, equations (1)-(9).
+//
+// Variables (paper nomenclature):
+//   NC — client cores, NS — I/O servers (= strips per request in the
+//   model's idealisation), NR — requests, NP — programs on the client,
+//   P  — processing time of one data strip,
+//   M  — migration time of one strip between cores (premise: M >> P),
+//   TR — network + server time, policy-independent.
+//
+// The model yields *bounds*: a lower bound on balanced scheduling's time
+// (its strip migrations serialize) and the exact source-aware time (all
+// strips processed on one core, no migration). These functions are used as
+// property-test oracles against the simulator and tabulated by
+// bench_model_analytic.
+#pragma once
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace saisim::analysis {
+
+struct ModelParams {
+  int num_cores = 8;      // NC
+  int num_servers = 8;    // NS
+  i64 num_requests = 1;   // NR
+  int num_programs = 1;   // NP
+  Time strip_processing = Time::us(25);  // P
+  Time strip_migration = Time::us(300);  // M
+  Time rest = Time::ms(1);               // TR
+
+  /// alpha = NS / NC (the model assumes NC divides NS).
+  double alpha() const {
+    return static_cast<double>(num_servers) / static_cast<double>(num_cores);
+  }
+
+  bool migration_dominates() const {
+    return strip_migration > strip_processing;  // M >> P premise
+  }
+};
+
+/// Equation (4)/(5): T_source-aware = TR + P * NS * NR.
+inline Time t_source_aware(const ModelParams& p) {
+  return p.rest + p.strip_processing * (p.num_servers * p.num_requests);
+}
+
+/// Equation (3)/(6): T_balanced >= TR + M * alpha * (NC - 1) * NR.
+inline Time t_balanced_lower_bound(const ModelParams& p) {
+  const i64 migrations = static_cast<i64>(p.alpha() *
+                                          static_cast<double>(p.num_cores - 1) *
+                                          static_cast<double>(p.num_requests));
+  return p.rest + p.strip_migration * migrations;
+}
+
+/// Equation (2): T_M = M * #migrations. Balanced scheduling migrates every
+/// strip that was handled off the consuming core: NS * (NC-1)/NC of them.
+inline i64 balanced_migrations(const ModelParams& p) {
+  return static_cast<i64>(static_cast<double>(p.num_servers) *
+                          static_cast<double>(p.num_cores - 1) /
+                          static_cast<double>(p.num_cores) *
+                          static_cast<double>(p.num_requests));
+}
+
+/// Equation (9): T_balanced - T_source-aware >= (NC-1) * NR * alpha * (M-P).
+inline Time min_gap(const ModelParams& p) {
+  const double factor = static_cast<double>(p.num_cores - 1) *
+                        static_cast<double>(p.num_requests) * p.alpha();
+  const Time diff = p.strip_migration - p.strip_processing;
+  return Time::ps(static_cast<i64>(factor *
+                                   static_cast<double>(diff.picoseconds())));
+}
+
+/// Equation (8): with NP <= NC programs, source-aware handles interrupts on
+/// NP cores concurrently: TR + P*NS*NR/NP <= T_sa <= TR + P*NS*NR.
+struct SourceAwareBounds {
+  Time lower;
+  Time upper;
+};
+inline SourceAwareBounds t_source_aware_multiprogram(const ModelParams& p) {
+  SAISIM_CHECK(p.num_programs > 0);
+  const i64 work = p.num_servers * p.num_requests;
+  const Time upper = p.rest + p.strip_processing * work;
+  const int concurrency = std::min(p.num_programs, p.num_cores);
+  const Time lower = p.rest + p.strip_processing * (work / concurrency);
+  return {lower, upper};
+}
+
+/// Lower bound on the model's predicted speed-up of source-aware over
+/// balanced, as a fraction: (T_bal - T_sa) / T_bal using the bounds above.
+/// Negative values mean the model cannot guarantee a win (e.g. M ~ P).
+inline double predicted_speedup_lower_bound(const ModelParams& p) {
+  const Time bal = t_balanced_lower_bound(p);
+  const Time sa = t_source_aware(p);
+  if (bal <= Time::zero()) return 0.0;
+  return (bal - sa).ratio(bal);
+}
+
+/// Equation (7): the request rate the client NIC can sustain:
+/// NR * NS * size_req <= client bandwidth (per unit time). Returns the
+/// maximum NR per second for a given request size.
+inline double max_requests_per_second(u64 request_bytes,
+                                      i64 client_bandwidth_bytes_per_sec) {
+  SAISIM_CHECK(request_bytes > 0);
+  return static_cast<double>(client_bandwidth_bytes_per_sec) /
+         static_cast<double>(request_bytes);
+}
+
+/// Derive model P and M from the simulator's memory timings: P is the
+/// per-strip softirq protocol work, M the per-strip cache-to-cache
+/// migration cost, both at the given core frequency.
+ModelParams params_from_system(u64 strip_bytes, u64 line_bytes,
+                               Cycles per_line_c2c, Cycles per_line_hit,
+                               Cycles per_packet, i64 per_byte_centicycles,
+                               Frequency freq, int num_cores, int num_servers,
+                               i64 num_requests, int num_programs, Time rest);
+
+}  // namespace saisim::analysis

@@ -1,0 +1,33 @@
+// The interrupt message travelling from the I/O APIC to a local APIC.
+//
+// `aff_core_id` is the source-aware hint the SAIs SrcParser extracts from
+// the IP options field; source-unaware policies ignore it. The softirq body
+// is carried as a cost/completion pair so the handling core can price the
+// protocol processing against its own cache state when it runs.
+#pragma once
+
+#include <functional>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace saisim::apic {
+
+/// Interrupt vector number (one per device queue).
+using Vector = int;
+
+struct InterruptMessage {
+  Vector vector = 0;
+  /// Source-aware affinity hint; kNoCore when the packet carried none (or
+  /// the hint failed to parse / exceeded the 5-bit encoding range).
+  CoreId aff_core_id = kNoCore;
+  /// The request this interrupt serves; peer interrupts share a RequestId.
+  RequestId request = -1;
+  /// Softirq cost on the core that ends up handling it.
+  std::function<Cycles(CoreId handler, Time now)> softirq_cost;
+  /// Runs after the softirq completes on the handling core.
+  std::function<void(CoreId handler, Time now)> on_handled;
+  const char* tag = "irq";
+};
+
+}  // namespace saisim::apic

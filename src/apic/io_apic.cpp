@@ -1,0 +1,84 @@
+#include "apic/io_apic.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace saisim::apic {
+
+void LocalApic::deliver(InterruptMessage msg, Time) {
+  ++delivered_;
+  const CoreId handler = core_.id();
+  // Wrap the message body into a softirq work item on this core.
+  auto cost = msg.softirq_cost;
+  auto done = msg.on_handled;
+  SAISIM_CHECK(cost != nullptr);
+  core_.submit(cpu::WorkItem{
+      .prio = cpu::Priority::kInterrupt,
+      .cost = [cost, handler](Time now) { return cost(handler, now); },
+      .on_complete =
+          [done, handler](Time now) {
+            if (done) done(handler, now);
+          },
+      .tag = msg.tag,
+  });
+}
+
+IoApic::IoApic(sim::Simulation& simulation, cpu::CpuSystem& cpus,
+               std::unique_ptr<InterruptRoutingPolicy> policy,
+               Time delivery_latency)
+    : sim_(simulation),
+      cpus_(cpus),
+      policy_(std::move(policy)),
+      delivery_latency_(delivery_latency) {
+  SAISIM_CHECK(policy_ != nullptr);
+  local_apics_.reserve(static_cast<u64>(cpus.num_cores()));
+  for (int i = 0; i < cpus.num_cores(); ++i) {
+    local_apics_.emplace_back(cpus.core(i));
+    all_cores_.push_back(i);
+  }
+  stats_.per_core.resize(static_cast<u64>(cpus.num_cores()));
+}
+
+void IoApic::set_redirection(Vector vector, std::vector<CoreId> allowed) {
+  SAISIM_CHECK(!allowed.empty());
+  for (CoreId c : allowed) SAISIM_CHECK(c >= 0 && c < cpus_.num_cores());
+  redirection_[vector] = std::move(allowed);
+}
+
+const std::vector<CoreId>& IoApic::allowed_for(Vector v) const {
+  auto it = redirection_.find(v);
+  return it == redirection_.end() ? all_cores_ : it->second;
+}
+
+void IoApic::raise(InterruptMessage msg) {
+  ++stats_.raised;
+  const auto& allowed = allowed_for(msg.vector);
+  const CoreId dest = policy_->route(msg, allowed, cpus_, sim_.now());
+  SAISIM_CHECK_MSG(dest >= 0 && dest < cpus_.num_cores(),
+                   "policy routed to an invalid core");
+  ++stats_.per_core[static_cast<u64>(dest)];
+  if (observer_) observer_(msg, dest, sim_.now());
+  LocalApic& lapic = local_apics_[static_cast<u64>(dest)];
+  sim_.after(delivery_latency_, [this, dest, msg = std::move(msg)]() mutable {
+    local_apics_[static_cast<u64>(dest)].deliver(std::move(msg), sim_.now());
+  });
+  (void)lapic;
+}
+
+double IoApic::delivery_imbalance() const {
+  const u64 n = stats_.per_core.size();
+  if (n == 0 || stats_.raised == 0) return 0.0;
+  const double mean =
+      static_cast<double>(stats_.raised) / static_cast<double>(n);
+  double var = 0.0;
+  for (u64 c : stats_.per_core) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace saisim::apic

@@ -1,0 +1,118 @@
+// Interrupt-routing trace and locality analysis.
+//
+// Attach to an IoApic to record every routing decision, then ask:
+//   * peer locality — for each request with several interrupts, what
+//     fraction landed on a single core? (1.0 = perfect source-awareness,
+//     1/NC = fully scattered; the property the paper's Figure 1c draws);
+//   * per-core distribution and a per-time-window activity table.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "apic/io_apic.hpp"
+#include "stats/table.hpp"
+
+namespace saisim::apic {
+
+class IrqTrace {
+ public:
+  struct Event {
+    Vector vector;
+    RequestId request;
+    CoreId dest;
+    bool hinted;
+    Time when;
+  };
+
+  /// Install onto `apic` (replaces any previous observer). The trace must
+  /// outlive the IoApic's use.
+  void attach(IoApic& apic) {
+    apic.set_observer([this](const InterruptMessage& m, CoreId dest, Time t) {
+      record(m, dest, t);
+    });
+  }
+
+  void record(const InterruptMessage& m, CoreId dest, Time when) {
+    events_.push_back(
+        Event{m.vector, m.request, dest, m.aff_core_id != kNoCore, when});
+  }
+
+  u64 size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Mean over multi-interrupt requests of (interrupts on the modal core /
+  /// interrupts of the request). The metric the source-aware idea optimises.
+  double peer_locality() const {
+    std::unordered_map<RequestId, std::unordered_map<int, u64>> by_request;
+    for (const Event& e : events_) {
+      if (e.request < 0) continue;
+      ++by_request[e.request][e.dest];
+    }
+    double sum = 0.0;
+    u64 n = 0;
+    for (const auto& [req, cores] : by_request) {
+      u64 total = 0, modal = 0;
+      for (const auto& [core, count] : cores) {
+        total += count;
+        modal = std::max(modal, count);
+      }
+      if (total < 2) continue;  // single-interrupt requests are trivially local
+      sum += static_cast<double>(modal) / static_cast<double>(total);
+      ++n;
+    }
+    return n == 0 ? 1.0 : sum / static_cast<double>(n);
+  }
+
+  /// Deliveries per core.
+  std::map<CoreId, u64> per_core() const {
+    std::map<CoreId, u64> out;
+    for (const Event& e : events_) ++out[e.dest];
+    return out;
+  }
+
+  /// Fraction of interrupts that carried (and were routed with) a hint.
+  double hinted_fraction() const {
+    if (events_.empty()) return 0.0;
+    u64 hinted = 0;
+    for (const Event& e : events_)
+      if (e.hinted) ++hinted;
+    return static_cast<double>(hinted) / static_cast<double>(events_.size());
+  }
+
+  /// Activity table: interrupts per core per time window.
+  stats::Table activity_table(Time window, int num_cores) const {
+    std::vector<std::string> headers{"window_start_ms"};
+    for (int c = 0; c < num_cores; ++c)
+      headers.push_back("core" + std::to_string(c));
+    stats::Table t(std::move(headers));
+
+    std::map<i64, std::vector<i64>> buckets;
+    for (const Event& e : events_) {
+      const i64 bucket = e.when.picoseconds() / window.picoseconds();
+      auto& row = buckets[bucket];
+      row.resize(static_cast<u64>(num_cores));
+      if (e.dest >= 0 && e.dest < num_cores)
+        ++row[static_cast<u64>(e.dest)];
+    }
+    for (const auto& [bucket, counts] : buckets) {
+      std::vector<stats::Table::Cell> row;
+      row.emplace_back(
+          static_cast<double>(bucket) * window.milliseconds());
+      for (int c = 0; c < num_cores; ++c) {
+        row.emplace_back(c < static_cast<int>(counts.size())
+                             ? counts[static_cast<u64>(c)]
+                             : i64{0});
+      }
+      t.add_row(std::move(row));
+    }
+    return t;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace saisim::apic

@@ -1,0 +1,198 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "pfs/meta_server.hpp"
+
+namespace saisim {
+
+ClientNode::ClientNode(sim::Simulation& simulation, net::Network& network,
+                       const ExperimentConfig& cfg, NodeId node,
+                       std::vector<NodeId> server_nodes, NodeId meta_node)
+    : address_space_(cfg.client.cache.line_bytes) {
+  cpus_ = std::make_unique<cpu::CpuSystem>(simulation, cfg.client.cores,
+                                           cfg.client.core_freq,
+                                           cfg.client.user_quantum);
+  memory_ = std::make_unique<mem::MemorySystem>(
+      cfg.client.cores, cfg.client.cache, cfg.client.timings,
+      cfg.client.core_freq, cfg.client.dram_bandwidth);
+  io_apic_ = std::make_unique<apic::IoApic>(simulation, *cpus_,
+                                            make_policy(cfg.policy));
+  nic_ = std::make_unique<net::ClientNic>(simulation, network, node, *io_apic_,
+                                          *memory_, cfg.client.core_freq,
+                                          cfg.client.nic);
+  pfs_ = std::make_unique<pfs::PfsClient>(
+      simulation, network, *nic_, node,
+      pfs::StripeLayout(cfg.strip_size, cfg.num_servers),
+      std::move(server_nodes), meta_node, address_space_);
+  if (policy_uses_hints(cfg.policy)) {
+    sais_ = std::make_unique<sais::SaisClient>(*pfs_, *nic_);
+  }
+  if (cfg.enable_background) {
+    background_ = std::make_unique<workload::BackgroundLoad>(
+        simulation, *cpus_, *memory_, address_space_, cfg.background);
+  }
+}
+
+RunMetrics run_experiment(const ExperimentConfig& cfg) {
+  SAISIM_CHECK(cfg.num_clients > 0);
+  SAISIM_CHECK(cfg.num_servers > 0);
+  SAISIM_CHECK(cfg.procs_per_client > 0);
+
+  sim::Simulation simulation(cfg.seed);
+  net::Network network(simulation, cfg.switch_latency);
+
+  // Topology: I/O servers, the metadata server, then the client machines.
+  std::vector<NodeId> server_nodes;
+  server_nodes.reserve(static_cast<u64>(cfg.num_servers));
+  for (int s = 0; s < cfg.num_servers; ++s) {
+    server_nodes.push_back(network.add_node(cfg.server.nic_bandwidth,
+                                            cfg.server.nic_bandwidth,
+                                            cfg.link_latency));
+  }
+  const NodeId meta_node = network.add_node(
+      Bandwidth::gbit(1.0), Bandwidth::gbit(1.0), cfg.link_latency);
+
+  std::vector<std::unique_ptr<pfs::IoServer>> servers;
+  servers.reserve(server_nodes.size());
+  for (NodeId n : server_nodes) {
+    servers.push_back(
+        std::make_unique<pfs::IoServer>(simulation, network, n, cfg.server.io));
+  }
+  pfs::MetaServer meta(simulation, network, meta_node, cfg.metadata_service);
+
+  std::vector<std::unique_ptr<ClientNode>> clients;
+  clients.reserve(static_cast<u64>(cfg.num_clients));
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    const NodeId node = network.add_node(cfg.client.nic_bandwidth,
+                                         cfg.client.nic_bandwidth,
+                                         cfg.link_latency);
+    clients.push_back(std::make_unique<ClientNode>(
+        simulation, network, cfg, node, server_nodes, meta_node));
+  }
+
+  // Workload: procs_per_client IOR processes per client, placed round-robin
+  // over the cores; each reads its own disjoint region of the shared file
+  // space (distinct server strip phases emerge naturally from the offsets).
+  const bool hints = policy_uses_hints(cfg.policy);
+  std::vector<std::unique_ptr<workload::IorProcess>> procs;
+  int remaining = cfg.num_clients * cfg.procs_per_client;
+  ProcessId next_pid = 1;
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    ClientNode& node = *clients[static_cast<u64>(c)];
+    if (node.background() != nullptr) node.background()->start(cfg.max_sim_time);
+    for (int p = 0; p < cfg.procs_per_client; ++p) {
+      workload::IorConfig ior = cfg.ior;
+      // Disjoint, strip-aligned file regions per process, phase-shifted by
+      // a sub-stripe offset so concurrent processes do not march over the
+      // same server subset in lockstep.
+      ior.file_offset_start =
+          static_cast<u64>(next_pid) *
+              (cfg.ior.total_bytes * 4 + (64ull << 20)) +
+          static_cast<u64>(next_pid) * 13 * cfg.strip_size;
+      const CoreId home = p % cfg.client.cores;
+      procs.push_back(std::make_unique<workload::IorProcess>(
+          simulation, node.cpus(), node.memory(), node.pfs(), next_pid, home,
+          hints, ior));
+      ++next_pid;
+    }
+  }
+  for (auto& p : procs) {
+    p->start([&remaining](const workload::IorProcessStats&) { --remaining; });
+  }
+
+  while (remaining > 0) {
+    SAISIM_CHECK_MSG(simulation.step(),
+                     "workload did not complete: event queue drained");
+    SAISIM_CHECK_MSG(simulation.now() <= cfg.max_sim_time,
+                     "workload did not complete within max_sim_time");
+  }
+
+  // ---- Metric aggregation --------------------------------------------
+  RunMetrics m;
+  m.elapsed = simulation.now();
+  const Time elapsed = m.elapsed;
+
+  mem::CoreCacheStats cache_total;
+  Time busy_total = Time::zero();
+  Time softirq_total = Time::zero();
+  double unhalted = 0.0;
+  for (auto& client : clients) {
+    cache_total += client->memory().total_stats();
+    busy_total += client->cpus().total_busy();
+    softirq_total +=
+        client->cpus().total_busy_by_prio(cpu::Priority::kInterrupt);
+    unhalted += static_cast<double>(client->cpus().total_unhalted().count());
+    m.c2c_transfers += client->memory().c2c_transfers();
+    m.interrupts += client->nic().stats().interrupts;
+    m.rx_drops += client->nic().stats().dropped;
+    m.retransmits += client->pfs().stats().retransmits;
+  }
+  m.l2_miss_rate = cache_total.miss_rate();
+  const i64 total_cores =
+      static_cast<i64>(cfg.num_clients) * cfg.client.cores;
+  m.cpu_utilization = busy_total.ratio(elapsed * total_cores);
+  m.unhalted_cycles = unhalted;
+  m.softirq_cycles = static_cast<double>(
+      cfg.client.core_freq.cycles_in(softirq_total).count());
+
+  u64 total_bytes = 0;
+  m.per_client_bandwidth_mbps.assign(static_cast<u64>(cfg.num_clients), 0.0);
+  for (u64 i = 0; i < procs.size(); ++i) {
+    const u64 bytes = procs[i]->stats().bytes_read;
+    total_bytes += bytes;
+    const u64 client_idx = i / static_cast<u64>(cfg.procs_per_client);
+    m.per_client_bandwidth_mbps[client_idx] +=
+        throughput_mbps(bytes, elapsed);
+  }
+  m.total_bytes = total_bytes;
+  m.bandwidth_mbps = throughput_mbps(total_bytes, elapsed);
+
+  double latency_sum = 0.0;
+  u64 latency_n = 0;
+  for (auto& client : clients) {
+    const auto& lat = client->pfs().stats().read_latency_us;
+    latency_sum += lat.sum();
+    latency_n += lat.count();
+  }
+  m.mean_read_latency_us =
+      latency_n ? latency_sum / static_cast<double>(latency_n) : 0.0;
+
+  u64 hinted = 0, raised = 0;
+  for (auto& client : clients) {
+    raised += client->io_apic().stats().raised;
+    if (const auto* sa = dynamic_cast<const apic::SourceAwarePolicy*>(
+            &client->io_apic().policy())) {
+      hinted += sa->hinted_routes();
+    }
+  }
+  m.hinted_interrupt_share_x1e4 = raised ? hinted * 10'000 / raised : 0;
+
+  return m;
+}
+
+Comparison compare_policies(ExperimentConfig cfg, PolicyKind baseline) {
+  Comparison out;
+  cfg.policy = baseline;
+  out.baseline = run_experiment(cfg);
+  cfg.policy = PolicyKind::kSourceAware;
+  out.sais = run_experiment(cfg);
+  if (out.baseline.bandwidth_mbps > 0) {
+    out.bandwidth_speedup_pct =
+        (out.sais.bandwidth_mbps - out.baseline.bandwidth_mbps) /
+        out.baseline.bandwidth_mbps * 100.0;
+  }
+  if (out.baseline.l2_miss_rate > 0) {
+    out.miss_rate_reduction_pct =
+        (out.baseline.l2_miss_rate - out.sais.l2_miss_rate) /
+        out.baseline.l2_miss_rate * 100.0;
+  }
+  if (out.baseline.unhalted_cycles > 0) {
+    out.unhalted_reduction_pct =
+        (out.baseline.unhalted_cycles - out.sais.unhalted_cycles) /
+        out.baseline.unhalted_cycles * 100.0;
+  }
+  return out;
+}
+
+}  // namespace saisim

@@ -1,0 +1,130 @@
+// The top-level experiment harness: builds a simulated cluster (one or more
+// multi-core clients, a metadata server, N I/O servers behind one switch),
+// runs an IOR-like read workload under a chosen interrupt-scheduling
+// policy, and reports the four metrics the paper evaluates: bandwidth, L2
+// cache miss rate, CPU utilisation, and CPU_CLK_UNHALTED.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "mem/memory_system.hpp"
+#include "net/nic.hpp"
+#include "pfs/io_server.hpp"
+#include "sais/sais_client.hpp"
+#include "workload/background_load.hpp"
+#include "workload/ior_process.hpp"
+
+namespace saisim {
+
+struct ClientMachineConfig {
+  int cores = 8;  // two quad-core Opterons
+  Frequency core_freq = Frequency::ghz(2.7);
+  mem::CacheConfig cache{};  // 512 KiB private L2, 64 B lines, 16-way
+  mem::MemoryTimings timings{};
+  /// 4x DDR2-667 single rank = 5333 MB/s peak (paper §VI).
+  Bandwidth dram_bandwidth = Bandwidth::mb_per_sec(5333);
+  net::NicConfig nic{};
+  /// Client NIC rate: 1 Gb/s, or 3 Gb/s for the bonded three-port setup.
+  Bandwidth nic_bandwidth = Bandwidth::gbit(3.0);
+  Time user_quantum = Time::us(100);
+};
+
+struct ServerMachineConfig {
+  pfs::IoServerConfig io{};
+  Bandwidth nic_bandwidth = Bandwidth::gbit(1.0);
+};
+
+struct ExperimentConfig {
+  int num_clients = 1;
+  int num_servers = 8;
+  u64 strip_size = 64ull << 10;
+  ClientMachineConfig client{};
+  ServerMachineConfig server{};
+  workload::IorConfig ior{};
+  /// IOR processes per client node (the paper runs several concurrently;
+  /// four keeps the client path — not the bonded NIC — the contended
+  /// resource at 3 Gb/s, which is the regime Figures 5-11 are measured in).
+  int procs_per_client = 4;
+  PolicyKind policy = PolicyKind::kIrqbalance;
+  workload::BackgroundConfig background{};
+  bool enable_background = true;
+  Time switch_latency = Time::us(5);
+  Time link_latency = Time::us(2);
+  Time metadata_service = Time::us(50);
+  u64 seed = 42;
+  /// Safety net: abort the run if the workload has not drained by then.
+  Time max_sim_time = Time::sec(600);
+};
+
+/// Aggregate results of one run (all clients combined).
+struct RunMetrics {
+  /// Aggregate application-visible read bandwidth (decimal MB/s, as IOR
+  /// reports it).
+  double bandwidth_mbps = 0.0;
+  /// L2 miss rate over all client cores: misses / accesses.
+  double l2_miss_rate = 0.0;
+  /// Mean CPU utilisation over the run, all client cores.
+  double cpu_utilization = 0.0;
+  /// Total unhalted cycles across all client cores (Oprofile's
+  /// CPU_CLK_UNHALTED, summed).
+  double unhalted_cycles = 0.0;
+  /// Unhalted cycles spent in softirq context (interrupt share).
+  double softirq_cycles = 0.0;
+
+  u64 total_bytes = 0;
+  Time elapsed = Time::zero();
+  u64 c2c_transfers = 0;
+  u64 interrupts = 0;
+  u64 retransmits = 0;
+  u64 rx_drops = 0;
+  u64 hinted_interrupt_share_x1e4 = 0;  // hinted routes / raised, x1e4
+  double mean_read_latency_us = 0.0;
+  /// Per-client bandwidths (multi-client scaling figure).
+  std::vector<double> per_client_bandwidth_mbps;
+};
+
+/// One simulated client machine and its software stack.
+class ClientNode {
+ public:
+  ClientNode(sim::Simulation& simulation, net::Network& network,
+             const ExperimentConfig& cfg, NodeId node,
+             std::vector<NodeId> server_nodes, NodeId meta_node);
+
+  cpu::CpuSystem& cpus() { return *cpus_; }
+  mem::MemorySystem& memory() { return *memory_; }
+  apic::IoApic& io_apic() { return *io_apic_; }
+  net::ClientNic& nic() { return *nic_; }
+  pfs::PfsClient& pfs() { return *pfs_; }
+  mem::AddressSpace& address_space() { return address_space_; }
+  workload::BackgroundLoad* background() { return background_.get(); }
+  const sais::SaisClient* sais() const { return sais_.get(); }
+
+ private:
+  mem::AddressSpace address_space_;
+  std::unique_ptr<cpu::CpuSystem> cpus_;
+  std::unique_ptr<mem::MemorySystem> memory_;
+  std::unique_ptr<apic::IoApic> io_apic_;
+  std::unique_ptr<net::ClientNic> nic_;
+  std::unique_ptr<pfs::PfsClient> pfs_;
+  std::unique_ptr<sais::SaisClient> sais_;
+  std::unique_ptr<workload::BackgroundLoad> background_;
+};
+
+/// Build the cluster, run the workload to completion, aggregate metrics.
+RunMetrics run_experiment(const ExperimentConfig& cfg);
+
+/// Convenience: run the same configuration under two policies and report
+/// the paper's speed-up percentage ((sais - base) / base * 100).
+struct Comparison {
+  RunMetrics baseline;
+  RunMetrics sais;
+  double bandwidth_speedup_pct = 0.0;
+  double miss_rate_reduction_pct = 0.0;
+  double unhalted_reduction_pct = 0.0;
+};
+Comparison compare_policies(ExperimentConfig cfg,
+                            PolicyKind baseline = PolicyKind::kIrqbalance);
+
+}  // namespace saisim

@@ -1,0 +1,64 @@
+// Policy selector for experiment configuration.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "apic/extended_policies.hpp"
+#include "apic/routing_policy.hpp"
+
+namespace saisim {
+
+enum class PolicyKind {
+  kRoundRobin,       // Intel Linux default (paper Fig. 1a)
+  kDedicated,        // AMD lowest-priority mode (paper Fig. 1b)
+  kIrqbalance,       // the paper's baseline: spread by instantaneous load
+  kIrqbalanceEpoch,  // daemon-fidelity variant: 10 ms affinity epochs
+  kFlowHash,         // RSS-style static flow hashing (RPS/RFS family)
+  kSourceAware,      // SAIs (paper Fig. 1c)
+  kHybrid,           // future work: source-aware unless the core is congested
+};
+
+inline std::string_view policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRoundRobin: return "round-robin";
+    case PolicyKind::kDedicated: return "dedicated";
+    case PolicyKind::kIrqbalance: return "irqbalance";
+    case PolicyKind::kIrqbalanceEpoch: return "irqbalance-epoch";
+    case PolicyKind::kFlowHash: return "flow-hash";
+    case PolicyKind::kSourceAware: return "source-aware";
+    case PolicyKind::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<apic::InterruptRoutingPolicy> make_policy(
+    PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<apic::RoundRobinPolicy>();
+    case PolicyKind::kDedicated:
+      return std::make_unique<apic::DedicatedPolicy>();
+    case PolicyKind::kIrqbalance:
+      return std::make_unique<apic::IrqbalancePolicy>(
+          apic::IrqbalancePolicy::Mode::kPerInterrupt);
+    case PolicyKind::kIrqbalanceEpoch:
+      return std::make_unique<apic::IrqbalancePolicy>(
+          apic::IrqbalancePolicy::Mode::kPerEpoch);
+    case PolicyKind::kFlowHash:
+      return std::make_unique<apic::FlowHashPolicy>();
+    case PolicyKind::kSourceAware:
+      return std::make_unique<apic::SourceAwarePolicy>();
+    case PolicyKind::kHybrid:
+      return std::make_unique<apic::HybridPolicy>();
+  }
+  return nullptr;
+}
+
+/// SAIs is the policy *plus* the hint plumbing; only hint-consuming
+/// policies benefit from (or need) the stamped requests.
+inline bool policy_uses_hints(PolicyKind kind) {
+  return kind == PolicyKind::kSourceAware || kind == PolicyKind::kHybrid;
+}
+
+}  // namespace saisim

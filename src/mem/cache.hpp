@@ -1,0 +1,142 @@
+// Set-associative private cache tag store.
+//
+// Models the per-core private L2 of the paper's AMD Opteron testbed
+// (512 KiB, 64 B lines). Only tags and LRU state are kept — the simulator
+// never stores payload bytes, it tracks *where* each line currently lives.
+#pragma once
+
+#include <bit>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace saisim::mem {
+
+struct CacheConfig {
+  u64 capacity_bytes = 512ull << 10;
+  u64 line_bytes = 64;
+  u32 ways = 16;
+
+  u64 num_lines() const { return capacity_bytes / line_bytes; }
+  u64 num_sets() const { return num_lines() / ways; }
+};
+
+/// A line address: byte address with the offset bits stripped.
+using LineAddr = u64;
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg) : cfg_(cfg) {
+    SAISIM_CHECK(cfg.line_bytes > 0 && std::has_single_bit(cfg.line_bytes));
+    SAISIM_CHECK(cfg.ways > 0);
+    SAISIM_CHECK(cfg.capacity_bytes % (cfg.line_bytes * cfg.ways) == 0);
+    const u64 sets = cfg.num_sets();
+    SAISIM_CHECK(std::has_single_bit(sets));
+    set_mask_ = sets - 1;
+    lines_.resize(sets * cfg.ways);
+  }
+
+  const CacheConfig& config() const { return cfg_; }
+
+  LineAddr line_of(Address addr) const { return addr / cfg_.line_bytes; }
+
+  /// True if the line is present; refreshes LRU on hit.
+  bool probe(LineAddr line) {
+    Entry* e = find(line);
+    if (e == nullptr) return false;
+    e->lru = ++lru_clock_;
+    return true;
+  }
+
+  /// Presence check without touching LRU state.
+  bool contains(LineAddr line) const {
+    return const_cast<Cache*>(this)->find(line) != nullptr;
+  }
+
+  bool is_dirty(LineAddr line) const {
+    const Entry* e = const_cast<Cache*>(this)->find(line);
+    return e != nullptr && e->dirty;
+  }
+
+  struct Eviction {
+    LineAddr line;
+    bool dirty;
+  };
+
+  /// Insert a line (must not be present). Returns the victim, if any.
+  std::optional<Eviction> insert(LineAddr line, bool dirty) {
+    SAISIM_CHECK_MSG(find(line) == nullptr, "double insert of cache line");
+    const u64 base = set_index(line) * cfg_.ways;
+    Entry* victim = nullptr;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Entry& e = lines_[base + w];
+      if (!e.valid) {
+        victim = &e;
+        break;
+      }
+      if (victim == nullptr || e.lru < victim->lru) victim = &e;
+    }
+    std::optional<Eviction> out;
+    if (victim->valid) out = Eviction{victim->line, victim->dirty};
+    victim->valid = true;
+    victim->line = line;
+    victim->dirty = dirty;
+    victim->lru = ++lru_clock_;
+    if (out) --resident_;
+    ++resident_;
+    return out;
+  }
+
+  /// Mark a present line dirty (store hit).
+  void mark_dirty(LineAddr line) {
+    Entry* e = find(line);
+    SAISIM_CHECK(e != nullptr);
+    e->dirty = true;
+  }
+
+  /// Drop a line if present; returns whether it was dirty.
+  struct Invalidation {
+    bool was_present;
+    bool was_dirty;
+  };
+  Invalidation invalidate(LineAddr line) {
+    Entry* e = find(line);
+    if (e == nullptr) return {false, false};
+    const bool dirty = e->dirty;
+    e->valid = false;
+    e->dirty = false;
+    --resident_;
+    return {true, dirty};
+  }
+
+  u64 resident_lines() const { return resident_; }
+
+ private:
+  struct Entry {
+    LineAddr line = 0;
+    u64 lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  u64 set_index(LineAddr line) const { return line & set_mask_; }
+
+  Entry* find(LineAddr line) {
+    const u64 base = set_index(line) * cfg_.ways;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Entry& e = lines_[base + w];
+      if (e.valid && e.line == line) return &e;
+    }
+    return nullptr;
+  }
+
+  CacheConfig cfg_;
+  u64 set_mask_ = 0;
+  u64 lru_clock_ = 0;
+  u64 resident_ = 0;
+  std::vector<Entry> lines_;
+};
+
+}  // namespace saisim::mem

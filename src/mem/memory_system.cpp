@@ -1,0 +1,152 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+
+namespace saisim::mem {
+
+MemorySystem::MemorySystem(int num_cores, const CacheConfig& cache_cfg,
+                           const MemoryTimings& timings, Frequency core_freq,
+                           Bandwidth dram_bandwidth)
+    : cache_cfg_(cache_cfg),
+      timings_(timings),
+      core_freq_(core_freq),
+      dram_bw_(dram_bandwidth) {
+  SAISIM_CHECK(num_cores > 0);
+  caches_.reserve(static_cast<u64>(num_cores));
+  for (int i = 0; i < num_cores; ++i) caches_.emplace_back(cache_cfg);
+  stats_.resize(static_cast<u64>(num_cores));
+}
+
+Time MemorySystem::dram_occupy(u64 bytes, Time now) {
+  if (dram_bw_.is_unlimited()) return Time::zero();
+  auto queue_penalty = [this](u64 backlog) {
+    return backlog <= timings_.dram_burst_allowance
+               ? Time::zero()
+               : dram_bw_.transfer_time(backlog -
+                                        timings_.dram_burst_allowance);
+  };
+  // Drain the backlog for the wall time elapsed since the last booking.
+  if (now > dram_last_update_) {
+    const Time elapsed = now - dram_last_update_;
+    const u64 drained = static_cast<u64>(
+        static_cast<u128>(static_cast<u64>(elapsed.picoseconds())) *
+        static_cast<u64>(dram_bw_.bytes_per_second()) / 1'000'000'000'000ull);
+    dram_backlog_bytes_ = drained >= dram_backlog_bytes_
+                              ? 0
+                              : dram_backlog_bytes_ - drained;
+    dram_last_update_ = now;
+  }
+  // Queueing appears only when the controller is genuinely oversubscribed
+  // beyond the burst allowance, and each booking pays only the *increment*
+  // of the penalty it causes.
+  const Time before = queue_penalty(dram_backlog_bytes_);
+  dram_backlog_bytes_ += bytes;
+  dram_busy_ += dram_bw_.transfer_time(bytes);
+  return queue_penalty(dram_backlog_bytes_) - before;
+}
+
+Time MemorySystem::access(CoreId core, Address addr, u64 bytes,
+                          AccessType type, Time now, int reuse_per_line) {
+  SAISIM_CHECK(core >= 0 && core < num_cores());
+  SAISIM_CHECK(bytes > 0);
+  SAISIM_CHECK(reuse_per_line >= 0);
+  Cache& cache = caches_[static_cast<u64>(core)];
+  CoreCacheStats& st = stats_[static_cast<u64>(core)];
+
+  const u64 line_bytes = cache_cfg_.line_bytes;
+  const LineAddr first = addr / line_bytes;
+  const LineAddr last = (addr + bytes - 1) / line_bytes;
+
+  Cycles cycle_cost = Cycles::zero();
+  Time dram_queue = Time::zero();
+  const bool is_write = type == AccessType::kWrite;
+
+  for (LineAddr line = first; line <= last; ++line) {
+    ++st.accesses;
+    // Block-local reuse: guaranteed hits while the line is hot.
+    st.accesses += static_cast<u64>(reuse_per_line);
+    st.hits += static_cast<u64>(reuse_per_line);
+    cycle_cost += Cycles{timings_.l2_hit.count() * reuse_per_line};
+    if (cache.probe(line)) {
+      ++st.hits;
+      cycle_cost += timings_.l2_hit;
+      if (is_write) cache.mark_dirty(line);
+      continue;
+    }
+
+    // Miss: find the line. Either another core's cache owns it (c2c
+    // transfer, moving ownership) or it comes from DRAM. The controller's
+    // drain clock advances with the access's own progression (latency
+    // cycles spent so far plus accrued queueing).
+    const Time progressed = now + core_freq_.duration(cycle_cost) + dram_queue;
+    auto it = owner_.find(line);
+    if (it != owner_.end()) {
+      SAISIM_CHECK_MSG(it->second != core, "owner map out of sync with cache");
+      Cache& remote = caches_[static_cast<u64>(it->second)];
+      const auto inv = remote.invalidate(line);
+      SAISIM_CHECK(inv.was_present);
+      ++st.misses_c2c;
+      ++c2c_transfers_;
+      cycle_cost += timings_.c2c_transfer;
+      // Dirty data moves cache-to-cache; ownership transfers with it, so
+      // no writeback to DRAM happens here.
+      owner_.erase(it);
+    } else {
+      ++st.misses_dram;
+      ++dram_line_reads_;
+      cycle_cost += timings_.dram_access;
+      dram_queue += dram_occupy(line_bytes, progressed);
+    }
+
+    const auto evicted = cache.insert(line, is_write);
+    owner_[line] = core;
+    if (evicted) {
+      ++st.evictions;
+      owner_.erase(evicted->line);
+      if (evicted->dirty) {
+        ++st.writebacks;
+        ++dram_line_writes_;
+        dram_queue += dram_occupy(line_bytes, progressed);
+      }
+    }
+    if (is_write) cache.mark_dirty(line);
+  }
+
+  return core_freq_.duration(cycle_cost) + dram_queue;
+}
+
+Time MemorySystem::dma_write(Address addr, u64 bytes, Time now) {
+  SAISIM_CHECK(bytes > 0);
+  const u64 line_bytes = cache_cfg_.line_bytes;
+  const LineAddr first = addr / line_bytes;
+  const LineAddr last = (addr + bytes - 1) / line_bytes;
+
+  // Invalidate any stale cached copies (coherent DMA).
+  for (LineAddr line = first; line <= last; ++line) {
+    auto it = owner_.find(line);
+    if (it == owner_.end()) continue;
+    caches_[static_cast<u64>(it->second)].invalidate(line);
+    owner_.erase(it);
+  }
+  return dram_occupy(bytes, now);
+}
+
+bool MemorySystem::resident(CoreId core, Address addr, u64 bytes) const {
+  SAISIM_CHECK(core >= 0 && core < num_cores());
+  const Cache& cache = caches_[static_cast<u64>(core)];
+  const u64 line_bytes = cache_cfg_.line_bytes;
+  const LineAddr first = addr / line_bytes;
+  const LineAddr last = (addr + bytes - 1) / line_bytes;
+  for (LineAddr line = first; line <= last; ++line) {
+    if (!cache.contains(line)) return false;
+  }
+  return true;
+}
+
+CoreCacheStats MemorySystem::total_stats() const {
+  CoreCacheStats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+}  // namespace saisim::mem

@@ -1,0 +1,51 @@
+// Bit-exact encoding of the affinitive core id in the IPv4 options field,
+// as the paper's Figure 4 specifies:
+//
+//   8-bit simple option:  [ copied:1 | option class:2 | option number:5 ]
+//   copied = 1, class = 1 (per the paper), number = aff_core_id (0..31),
+//   terminated by an EOL octet (0x00) and padded to the 32-bit options word.
+//
+// The 5-bit number field is why SAIs can only identify 32 cores; ids beyond
+// that cannot be encoded and the interrupt falls back to balanced routing.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace saisim::net {
+
+class IpOptions {
+ public:
+  static constexpr int kMaxEncodableCore = 31;
+  static constexpr u8 kEol = 0x00;
+  /// copied(1) << 7 | class(01) << 5.
+  static constexpr u8 kOptionPrefix = 0xA0;
+
+  /// Encode a core id into a 4-byte options word. Returns nullopt when the
+  /// id exceeds the 5-bit field (the SAIs encoding limit).
+  static std::optional<std::array<u8, 4>> encode(CoreId core) {
+    if (core < 0 || core > kMaxEncodableCore) return std::nullopt;
+    return std::array<u8, 4>{
+        static_cast<u8>(kOptionPrefix | static_cast<u8>(core)), kEol, kEol,
+        kEol};
+  }
+
+  /// Parse an options field; returns the core id when the word carries a
+  /// well-formed SAIs hint, nullopt otherwise (absent, malformed, or a
+  /// different option kind).
+  static std::optional<CoreId> parse(std::span<const u8> options) {
+    if (options.empty()) return std::nullopt;
+    const u8 first = options[0];
+    if ((first & 0xE0) != kOptionPrefix) return std::nullopt;  // copied+class
+    // A simple option must be followed by EOL termination (or end of field).
+    for (u64 i = 1; i < options.size(); ++i) {
+      if (options[i] != kEol) return std::nullopt;
+    }
+    return CoreId{first & 0x1F};
+  }
+};
+
+}  // namespace saisim::net

@@ -1,0 +1,94 @@
+#include "net/ipv4.hpp"
+
+#include "util/assert.hpp"
+
+namespace saisim::net {
+
+u16 internet_checksum(std::span<const u8> data) {
+  u32 sum = 0;
+  u64 i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<u32>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<u32>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(~sum & 0xFFFF);
+}
+
+namespace {
+
+void put16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v & 0xFF));
+}
+void put32(std::vector<u8>& out, u32 v) {
+  put16(out, static_cast<u16>(v >> 16));
+  put16(out, static_cast<u16>(v & 0xFFFF));
+}
+u16 get16(std::span<const u8> b, u64 at) {
+  return static_cast<u16>(static_cast<u16>(b[at]) << 8 | b[at + 1]);
+}
+u32 get32(std::span<const u8> b, u64 at) {
+  return static_cast<u32>(get16(b, at)) << 16 | get16(b, at + 2);
+}
+
+}  // namespace
+
+std::vector<u8> Ipv4Header::serialize() const {
+  const u64 hdr = header_bytes();
+  SAISIM_CHECK(hdr % 4 == 0);
+  std::vector<u8> out;
+  out.reserve(hdr);
+  const u8 ihl = static_cast<u8>(hdr / 4);
+  out.push_back(static_cast<u8>(0x40 | ihl));  // version 4 + IHL
+  out.push_back(dscp_ecn);
+  put16(out, total_length);
+  put16(out, identification);
+  put16(out, flags_fragment);
+  out.push_back(ttl);
+  out.push_back(protocol);
+  put16(out, 0);  // checksum placeholder
+  put32(out, src_ip);
+  put32(out, dst_ip);
+  if (options) out.insert(out.end(), options->begin(), options->end());
+
+  const u16 csum = internet_checksum(out);
+  out[10] = static_cast<u8>(csum >> 8);
+  out[11] = static_cast<u8>(csum & 0xFF);
+  return out;
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const u8> bytes) {
+  if (bytes.size() < kBaseBytes) return std::nullopt;
+  const u8 version = bytes[0] >> 4;
+  if (version != 4) return std::nullopt;
+  const u64 ihl_bytes = static_cast<u64>(bytes[0] & 0x0F) * 4;
+  if (ihl_bytes < kBaseBytes || ihl_bytes > bytes.size()) return std::nullopt;
+  // Checksum over the header must verify to zero.
+  if (internet_checksum(bytes.first(ihl_bytes)) != 0) return std::nullopt;
+
+  Ipv4Header h;
+  h.dscp_ecn = bytes[1];
+  h.total_length = get16(bytes, 2);
+  h.identification = get16(bytes, 4);
+  h.flags_fragment = get16(bytes, 6);
+  h.ttl = bytes[8];
+  h.protocol = bytes[9];
+  h.src_ip = get32(bytes, 12);
+  h.dst_ip = get32(bytes, 16);
+  if (ihl_bytes > kBaseBytes) {
+    if (ihl_bytes - kBaseBytes != 4) return std::nullopt;  // one word only
+    std::array<u8, 4> opts;
+    for (u64 i = 0; i < 4; ++i) opts[i] = bytes[kBaseBytes + i];
+    h.options = opts;
+  }
+  return h;
+}
+
+std::optional<CoreId> Ipv4Header::parse_hint(std::span<const u8> bytes) {
+  const auto h = parse(bytes);
+  if (!h || !h->options) return std::nullopt;
+  return IpOptions::parse(*h->options);
+}
+
+}  // namespace saisim::net

@@ -1,0 +1,52 @@
+// IPv4 header serialization — the wire format the SAIs hint rides on.
+//
+// The simulator models packets symbolically, but the hint channel is a
+// real IPv4-options mechanism (RFC 791), so the encoding is implemented
+// for real: header build/parse with IHL handling for the options word and
+// the internet checksum. The round trip proves a stock IP stack would
+// carry the aff_core_id unchanged.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip_options.hpp"
+#include "util/types.hpp"
+
+namespace saisim::net {
+
+/// RFC 1071 internet checksum over `data` (16-bit one's-complement sum).
+u16 internet_checksum(std::span<const u8> data);
+
+struct Ipv4Header {
+  static constexpr u64 kBaseBytes = 20;
+
+  u8 dscp_ecn = 0;
+  /// Total length of the datagram (header + payload).
+  u16 total_length = kBaseBytes;
+  u16 identification = 0;
+  u16 flags_fragment = 0x4000;  // DF
+  u8 ttl = 64;
+  u8 protocol = 6;  // TCP
+  u32 src_ip = 0;
+  u32 dst_ip = 0;
+  /// One 32-bit options word (the SAIs hint of Figure 4), when present.
+  std::optional<std::array<u8, 4>> options;
+
+  u64 header_bytes() const { return kBaseBytes + (options ? 4 : 0); }
+
+  /// Serialize with IHL and checksum computed.
+  std::vector<u8> serialize() const;
+
+  /// Parse and validate (version, IHL, checksum). Returns nullopt on any
+  /// malformation — a corrupted hint must never mis-steer an interrupt.
+  static std::optional<Ipv4Header> parse(std::span<const u8> bytes);
+
+  /// Convenience: extract the SAIs hint from a raw header, as the NIC
+  /// driver's SrcParser does.
+  static std::optional<CoreId> parse_hint(std::span<const u8> bytes);
+};
+
+}  // namespace saisim::net

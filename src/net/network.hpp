@@ -1,0 +1,89 @@
+// The cluster fabric: every node hangs off one switch with a full-duplex
+// link (uplink to the switch, downlink from it). A message serializes on the
+// sender's uplink, crosses the switch (store-and-forward, fixed forwarding
+// latency), then serializes on the receiver's downlink — which is where the
+// paper's "client NIC bottleneck" forms when many I/O servers reply at once.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/actor.hpp"
+
+namespace saisim::net {
+
+class Network : public sim::Actor {
+ public:
+  using Receiver = std::function<void(Packet)>;
+
+  explicit Network(sim::Simulation& simulation,
+                   Time switch_latency = Time::us(5))
+      : Actor(simulation), switch_latency_(switch_latency) {}
+
+  /// Attach a node; `up`/`down` are the node's NIC rates towards/from the
+  /// switch (a bonded 3x1-Gigabit client is modelled as a 3 Gb/s link).
+  NodeId add_node(Bandwidth up, Bandwidth down,
+                  Time link_latency = Time::us(2)) {
+    nodes_.push_back(std::make_unique<Node>(sim(), up, down, link_latency));
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  void set_receiver(NodeId node, Receiver r) {
+    at(node).receiver = std::move(r);
+  }
+
+  /// Send a packet from `p.src` to `p.dst`. Delivery invokes the
+  /// destination's receiver after both serializations and latencies.
+  void send(Packet p) {
+    SAISIM_CHECK(p.src >= 0 && p.src < num_nodes());
+    SAISIM_CHECK(p.dst >= 0 && p.dst < num_nodes());
+    const u64 wire = p.wire_bytes();
+    Node& src = at(p.src);
+    ++packets_in_flight_;
+    src.uplink.send(wire, [this, p = std::move(p), wire]() mutable {
+      // Arrived at the switch; forward after the fabric latency.
+      sim().after(switch_latency_, [this, p = std::move(p), wire]() mutable {
+        Node& dst = at(p.dst);
+        dst.downlink.send(wire, [this, p = std::move(p)]() mutable {
+          --packets_in_flight_;
+          Node& d = at(p.dst);
+          SAISIM_CHECK_MSG(d.receiver != nullptr,
+                           "packet delivered to node with no receiver");
+          d.receiver(std::move(p));
+        });
+      });
+    });
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  u64 packets_in_flight() const { return packets_in_flight_; }
+
+  Link& uplink(NodeId n) { return at(n).uplink; }
+  Link& downlink(NodeId n) { return at(n).downlink; }
+  const Link& downlink(NodeId n) const {
+    return const_cast<Network*>(this)->at(n).downlink;
+  }
+
+ private:
+  struct Node {
+    Node(sim::Simulation& s, Bandwidth up, Bandwidth down, Time latency)
+        : uplink(s, up, latency), downlink(s, down, latency) {}
+    Link uplink;
+    Link downlink;
+    Receiver receiver;
+  };
+
+  Node& at(NodeId n) {
+    SAISIM_CHECK(n >= 0 && n < num_nodes());
+    return *nodes_[static_cast<u64>(n)];
+  }
+
+  Time switch_latency_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  u64 packets_in_flight_ = 0;
+};
+
+}  // namespace saisim::net

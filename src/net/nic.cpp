@@ -1,0 +1,118 @@
+#include "net/nic.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace saisim::net {
+
+ClientNic::ClientNic(sim::Simulation& simulation, Network& network,
+                     NodeId self, apic::IoApic& io_apic,
+                     mem::MemorySystem& memory, Frequency freq,
+                     NicConfig config)
+    : Actor(simulation),
+      network_(network),
+      self_(self),
+      io_apic_(io_apic),
+      memory_(memory),
+      freq_(freq),
+      cfg_(config) {
+  SAISIM_CHECK(cfg_.queues > 0);
+  SAISIM_CHECK(cfg_.coalesce_count > 0);
+  SAISIM_CHECK(cfg_.ring_capacity > 0);
+  queues_.resize(static_cast<u64>(cfg_.queues));
+  network_.set_receiver(
+      self_, [this](Packet p) { on_network_deliver(std::move(p)); });
+}
+
+int ClientNic::queue_of(const Packet& p) const {
+  // RSS-style flow hash: packets of one flow (server, request) stick to one
+  // queue, like the hardware indirection table.
+  u64 h = static_cast<u64>(static_cast<u32>(p.src)) * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<u64>(p.request >= 0 ? p.request : 0);
+  return static_cast<int>(h % static_cast<u64>(cfg_.queues));
+}
+
+void ClientNic::on_network_deliver(Packet p) {
+  // DMA the payload into host memory before anything is visible to the
+  // host; dma_write also invalidates stale cached copies of the buffer.
+  const Time dma_delay =
+      p.payload_bytes > 0
+          ? memory_.dma_write(p.dma_addr, p.payload_bytes, now())
+          : Time::zero();
+  sim().after(dma_delay,
+              [this, p = std::move(p)]() mutable { enqueue(std::move(p)); });
+}
+
+void ClientNic::enqueue(Packet p) {
+  const int q = queue_of(p);
+  Queue& queue = queues_[static_cast<u64>(q)];
+  if (queue.outstanding >= cfg_.ring_capacity) {
+    ++stats_.dropped;  // RX overrun; upper layers recover via timeout
+    return;
+  }
+  ++queue.outstanding;
+  ++stats_.rx_messages;
+  queue.pending.push_back(std::move(p));
+  if (static_cast<int>(queue.pending.size()) >= cfg_.coalesce_count) {
+    raise_interrupt(q);
+    return;
+  }
+  // Arm the rx-usecs flush for the batch's first packet.
+  if (queue.pending.size() == 1 && cfg_.coalesce_count > 1) {
+    queue.flush_timer = sim().after(cfg_.coalesce_timeout, [this, q] {
+      Queue& qu = queues_[static_cast<u64>(q)];
+      qu.flush_timer.reset();
+      if (!qu.pending.empty()) raise_interrupt(q);
+    });
+  }
+}
+
+void ClientNic::raise_interrupt(int queue_idx) {
+  Queue& queue = queues_[static_cast<u64>(queue_idx)];
+  SAISIM_CHECK(!queue.pending.empty());
+  if (queue.flush_timer.valid()) {
+    sim().cancel(queue.flush_timer);
+    queue.flush_timer.reset();
+  }
+  auto batch = std::make_shared<std::vector<Packet>>(std::move(queue.pending));
+  queue.pending.clear();
+  ++stats_.interrupts;
+
+  const Packet& first = batch->front();
+  apic::InterruptMessage msg;
+  msg.vector = cfg_.vector_base + queue_idx;
+  msg.aff_core_id =
+      hint_parser_ ? hint_parser_(first).value_or(kNoCore) : kNoCore;
+  msg.request = first.request;
+  msg.tag = "nic-rx";
+  msg.softirq_cost = [this, queue_idx, batch](CoreId handler, Time at) {
+    // Price the protocol work against the handling core's cache: the
+    // skb-to-buffer copy *touches* every payload line, pulling it into this
+    // core's private cache. This is the mechanism that makes interrupt
+    // placement matter.
+    Cycles cost = Cycles::zero();
+    for (const Packet& p : *batch) {
+      cost += cfg_.per_packet_cycles;
+      cost += Cycles{static_cast<i64>(
+          p.payload_bytes * static_cast<u64>(cfg_.per_byte_centicycles) /
+          100)};
+      if (p.payload_bytes > 0) {
+        const Time touch =
+            memory_.access(handler, p.dma_addr, p.payload_bytes,
+                           mem::MemorySystem::AccessType::kWrite, at,
+                           cfg_.touch_reuse);
+        cost += freq_.cycles_in(touch);
+      }
+      stats_.rx_bytes += p.payload_bytes;
+    }
+    queues_[static_cast<u64>(queue_idx)].outstanding -= batch->size();
+    return cost;
+  };
+  msg.on_handled = [this, batch](CoreId handler, Time at) {
+    if (!rx_handler_) return;
+    for (const Packet& p : *batch) rx_handler_(p, handler, at);
+  };
+  io_apic_.raise(std::move(msg));
+}
+
+}  // namespace saisim::net

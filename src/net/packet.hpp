@@ -1,0 +1,64 @@
+// Simulated network packets.
+//
+// The unit of simulation is a *message* (a PFS request, or one strip's worth
+// of reply data). On the wire a message occupies its payload plus per-MTU
+// frame overhead; the NIC presents it to the host as one aggregated receive
+// (strip-granular delivery, matching the per-server-strip interrupt
+// granularity the paper's model counts).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "net/ip_options.hpp"
+#include "util/types.hpp"
+
+namespace saisim::net {
+
+enum class PacketKind : u8 {
+  kPfsRequest,    // client -> I/O server read request
+  kPfsData,       // I/O server -> client strip payload
+  kPfsWriteData,  // client -> I/O server strip payload (write path)
+  kPfsWriteAck,   // I/O server -> client write acknowledgement
+  kMetaRequest,   // client -> metadata server
+  kMetaReply,     // metadata server -> client
+};
+
+struct Packet {
+  u64 id = 0;
+  PacketKind kind = PacketKind::kPfsData;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+
+  /// Application-level request this packet serves; data packets of the same
+  /// request are "peer interrupts" in source-aware nomenclature.
+  RequestId request = -1;
+  ProcessId owner_process = -1;
+  /// Index of the strip within its request (data packets).
+  u32 strip_index = 0;
+
+  u64 payload_bytes = 0;
+  /// Where the payload lands in client memory (DMA target).
+  Address dma_addr = 0;
+
+  /// IP options word; set by the server-side HintCapsuler on data packets
+  /// when the request carried an aff_core_id hint.
+  std::optional<std::array<u8, 4>> ip_options;
+
+  /// File span this packet requests / carries (used by the PFS layer).
+  u64 file_offset = 0;
+  u64 span_bytes = 0;
+
+  /// Ethernet + IP(+options) + TCP header and framing cost per MTU frame.
+  static constexpr u64 kFrameOverhead = 78;
+  static constexpr u64 kMtuPayload = 1448;
+
+  /// Bytes occupied on the wire, including per-frame overhead for every MTU
+  /// frame this message fragments into.
+  u64 wire_bytes() const {
+    const u64 frames = (payload_bytes + kMtuPayload - 1) / kMtuPayload;
+    return payload_bytes + (frames == 0 ? 1 : frames) * kFrameOverhead;
+  }
+};
+
+}  // namespace saisim::net

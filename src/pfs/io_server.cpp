@@ -1,0 +1,102 @@
+#include "pfs/io_server.hpp"
+
+#include <algorithm>
+
+namespace saisim::pfs {
+
+IoServer::IoServer(sim::Simulation& simulation, net::Network& network,
+                   NodeId self, IoServerConfig config)
+    : Actor(simulation), network_(network), self_(self), cfg_(config) {
+  network_.set_receiver(self_,
+                        [this](net::Packet p) { on_request(std::move(p)); });
+}
+
+void IoServer::on_request(net::Packet req) {
+  switch (req.kind) {
+    case net::PacketKind::kPfsRequest:
+      on_read_request(std::move(req));
+      return;
+    case net::PacketKind::kPfsWriteData:
+      on_write_data(std::move(req));
+      return;
+    default:
+      SAISIM_CHECK_MSG(false, "unexpected packet kind at I/O server");
+  }
+}
+
+Time IoServer::disk_occupy(u64 bytes, Time ready_at, bool may_cache,
+                           u64 file_offset) {
+  // The single spindle serializes requests. Whether a strip is in the
+  // buffer cache is a property of the *data* (hashed from its file
+  // offset), so identical workloads hit identically regardless of the
+  // client's interrupt policy — comparisons stay noise-free.
+  if (may_cache && cfg_.cache_hit_ratio > 0.0) {
+    u64 h = file_offset / 4096 + 0x9E3779B97F4A7C15ull;
+    const u64 draw = splitmix64(h) % 10'000;
+    if (static_cast<double>(draw) < cfg_.cache_hit_ratio * 10'000.0) {
+      ++stats_.cache_hits;
+      return ready_at;
+    }
+  }
+  const Time io_time =
+      cfg_.disk_seek + (cfg_.disk_bandwidth.is_unlimited()
+                            ? Time::zero()
+                            : cfg_.disk_bandwidth.transfer_time(bytes));
+  const Time start = std::max(ready_at, disk_free_at_);
+  disk_free_at_ = start + io_time;
+  return disk_free_at_;
+}
+
+void IoServer::on_read_request(net::Packet req) {
+  ++stats_.requests;
+  const Time ready_at = disk_occupy(
+      req.span_bytes, now() + cfg_.request_service + slowdown_,
+      /*may_cache=*/true, req.file_offset);
+
+  sim().at(ready_at, [this, req = std::move(req)]() mutable {
+    stats_.bytes_served += req.span_bytes;
+    net::Packet reply;
+    reply.id = next_packet_id_++;
+    reply.kind = net::PacketKind::kPfsData;
+    reply.src = self_;
+    reply.dst = req.src;
+    reply.request = req.request;
+    reply.owner_process = req.owner_process;
+    reply.strip_index = req.strip_index;
+    reply.payload_bytes = req.span_bytes;
+    reply.dma_addr = req.dma_addr;
+    reply.file_offset = req.file_offset;
+    reply.span_bytes = req.span_bytes;
+    // HintCapsuler: echo the client's aff_core_id options word into every
+    // data packet of the reply.
+    reply.ip_options = req.ip_options;
+    network_.send(std::move(reply));
+  });
+}
+
+void IoServer::on_write_data(net::Packet data) {
+  ++stats_.write_requests;
+  // Incoming strip lands in the server's buffer cache immediately and is
+  // flushed to disk in the background; the ack goes out after the
+  // (serialized) disk write — PVFS's default sync semantics.
+  const Time ready_at =
+      disk_occupy(data.payload_bytes, now() + cfg_.request_service + slowdown_,
+                  /*may_cache=*/false, data.file_offset);
+  sim().at(ready_at, [this, data = std::move(data)]() mutable {
+    stats_.bytes_written += data.payload_bytes;
+    net::Packet ack;
+    ack.id = next_packet_id_++;
+    ack.kind = net::PacketKind::kPfsWriteAck;
+    ack.src = self_;
+    ack.dst = data.src;
+    ack.request = data.request;
+    ack.owner_process = data.owner_process;
+    ack.strip_index = data.strip_index;
+    ack.payload_bytes = 64;  // small ack message
+    ack.dma_addr = data.dma_addr;  // client control scratch
+    ack.ip_options = data.ip_options;
+    network_.send(std::move(ack));
+  });
+}
+
+}  // namespace saisim::pfs

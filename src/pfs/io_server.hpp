@@ -1,0 +1,62 @@
+// One PVFS I/O server: receives per-strip read requests, reads the strip
+// from its disk (serialized, seek + transfer), and sends the data back.
+// The HintCapsuler step copies the request's SAIs hint into the IP options
+// of every reply packet — the paper's server-side modification.
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/actor.hpp"
+#include "stats/summary.hpp"
+#include "util/units.hpp"
+
+namespace saisim::pfs {
+
+struct IoServerConfig {
+  /// Sequential throughput of the server's data disk. IOR streams
+  /// sequentially, so the default models a 7.2K SATA drive's streaming rate.
+  Bandwidth disk_bandwidth = Bandwidth::mb_per_sec(90);
+  /// Positioning cost charged per strip request. Non-zero by default: with
+  /// several IOR processes striping distinct files over the same spindles,
+  /// consecutive strip reads seek between files.
+  Time disk_seek = Time::ms(1);
+  /// Server CPU time to parse a request and build the reply.
+  Time request_service = Time::us(20);
+  /// Fraction of reads served from the server's buffer cache (skip disk).
+  double cache_hit_ratio = 0.0;
+};
+
+struct IoServerStats {
+  u64 requests = 0;
+  u64 bytes_served = 0;
+  u64 cache_hits = 0;
+  u64 write_requests = 0;
+  u64 bytes_written = 0;
+};
+
+class IoServer : public sim::Actor {
+ public:
+  IoServer(sim::Simulation& simulation, net::Network& network, NodeId self,
+           IoServerConfig config);
+
+  NodeId node() const { return self_; }
+  const IoServerStats& stats() const { return stats_; }
+
+  /// Degrade this server (adds to every disk access) — failure injection.
+  void set_slowdown(Time extra_per_request) { slowdown_ = extra_per_request; }
+
+ private:
+  void on_request(net::Packet req);
+  void on_read_request(net::Packet req);
+  void on_write_data(net::Packet data);
+  Time disk_occupy(u64 bytes, Time ready_at, bool may_cache, u64 file_offset);
+
+  net::Network& network_;
+  NodeId self_;
+  IoServerConfig cfg_;
+  Time disk_free_at_ = Time::zero();
+  Time slowdown_ = Time::zero();
+  IoServerStats stats_;
+  u64 next_packet_id_ = 1;
+};
+
+}  // namespace saisim::pfs

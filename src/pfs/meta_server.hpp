@@ -1,0 +1,48 @@
+// The PVFS metadata server: answers open/layout lookups with a fixed
+// service time. One instance per file system (the paper's setup used one
+// metadata node beside 8-48 I/O nodes).
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/actor.hpp"
+
+namespace saisim::pfs {
+
+class MetaServer : public sim::Actor {
+ public:
+  MetaServer(sim::Simulation& simulation, net::Network& network, NodeId self,
+             Time service_time = Time::us(50))
+      : Actor(simulation),
+        network_(network),
+        self_(self),
+        service_(service_time) {
+    network_.set_receiver(self_, [this](net::Packet p) {
+      SAISIM_CHECK(p.kind == net::PacketKind::kMetaRequest);
+      ++lookups_;
+      sim().after(service_, [this, p = std::move(p)] {
+        net::Packet reply;
+        reply.id = next_id_++;
+        reply.kind = net::PacketKind::kMetaReply;
+        reply.src = self_;
+        reply.dst = p.src;
+        reply.request = p.request;
+        reply.owner_process = p.owner_process;
+        reply.payload_bytes = 512;  // layout descriptor
+        reply.dma_addr = p.dma_addr;
+        network_.send(std::move(reply));
+      });
+    });
+  }
+
+  NodeId node() const { return self_; }
+  u64 lookups() const { return lookups_; }
+
+ private:
+  net::Network& network_;
+  NodeId self_;
+  Time service_;
+  u64 lookups_ = 0;
+  u64 next_id_ = 1;
+};
+
+}  // namespace saisim::pfs

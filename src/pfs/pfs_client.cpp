@@ -1,0 +1,244 @@
+#include "pfs/pfs_client.hpp"
+
+#include <utility>
+
+namespace saisim::pfs {
+
+PfsClient::PfsClient(sim::Simulation& simulation, net::Network& network,
+                     net::ClientNic& nic, NodeId self, StripeLayout layout,
+                     std::vector<NodeId> server_nodes, NodeId meta_node,
+                     mem::AddressSpace& address_space, PfsClientConfig config)
+    : Actor(simulation),
+      network_(network),
+      nic_(nic),
+      self_(self),
+      layout_(std::move(layout)),
+      servers_(std::move(server_nodes)),
+      meta_node_(meta_node),
+      address_space_(address_space),
+      cfg_(config) {
+  SAISIM_CHECK(static_cast<int>(servers_.size()) == layout_.num_servers());
+  control_scratch_ = address_space_.allocate(4096);
+  nic_.set_rx_handler([this](const net::Packet& p, CoreId handler, Time at) {
+    on_rx(p, handler, at);
+  });
+}
+
+void PfsClient::open(ProcessId proc, std::function<void(Time)> on_open) {
+  const RequestId id = next_request_++;
+  pending_opens_[id] = std::move(on_open);
+  net::Packet req;
+  req.id = next_packet_id_++;
+  req.kind = net::PacketKind::kMetaRequest;
+  req.src = self_;
+  req.dst = meta_node_;
+  req.request = id;
+  req.owner_process = proc;
+  req.payload_bytes = cfg_.request_msg_bytes;
+  req.dma_addr = control_scratch_.base;
+  network_.send(std::move(req));
+}
+
+RequestId PfsClient::read(ProcessId proc, std::optional<CoreId> hint,
+                          u64 file_offset, u64 bytes, ReadCallback on_complete,
+                          StripConsumer strip_consumer) {
+  const RequestId id = next_request_++;
+  PendingRead pr;
+  pr.proc = proc;
+  pr.hint = hint;
+  pr.spans = layout_.decompose(file_offset, bytes);
+  pr.received.assign(pr.spans.size(), false);
+  pr.outstanding = static_cast<u32>(pr.spans.size());
+  pr.retries_left = cfg_.max_retransmits;
+  pr.current_timeout = cfg_.retransmit_timeout;
+  pr.buffer = address_space_.allocate(bytes);
+  pr.issued_at = now();
+  pr.on_complete = std::move(on_complete);
+  pr.strip_consumer = std::move(strip_consumer);
+
+  ++stats_.reads_issued;
+  auto [it, inserted] = pending_.emplace(id, std::move(pr));
+  SAISIM_CHECK(inserted);
+  for (u64 s = 0; s < it->second.spans.size(); ++s) {
+    send_strip_request(id, it->second, s);
+  }
+  arm_timeout(id);
+  return id;
+}
+
+void PfsClient::send_strip_request(RequestId id, const PendingRead& pr,
+                                   u64 span_idx) {
+  const StripSpan& span = pr.spans[span_idx];
+  net::Packet req;
+  req.id = next_packet_id_++;
+  req.kind = net::PacketKind::kPfsRequest;
+  req.src = self_;
+  req.dst = servers_[static_cast<u64>(span.server)];
+  req.request = id;
+  req.owner_process = pr.proc;
+  req.strip_index = static_cast<u32>(span_idx);
+  req.payload_bytes = cfg_.request_msg_bytes;
+  // The reply strip lands at its offset within the read buffer.
+  req.dma_addr = pr.buffer.base + (span.file_offset - pr.spans[0].file_offset);
+  req.file_offset = span.file_offset;
+  req.span_bytes = span.bytes;
+  // HintMessager hook: the SAIs stack stamps aff_core_id into the request's
+  // options here; baseline kernels leave it empty.
+  if (decorator_) decorator_(req, pr.hint);
+  ++stats_.strips_requested;
+  network_.send(std::move(req));
+}
+
+RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
+                           u64 file_offset, mem::AddressRange buffer,
+                           ReadCallback on_complete) {
+  const RequestId id = next_request_++;
+  PendingWrite pw;
+  pw.proc = proc;
+  pw.hint = hint;
+  pw.spans = layout_.decompose(file_offset, buffer.bytes);
+  pw.acked.assign(pw.spans.size(), false);
+  pw.outstanding = static_cast<u32>(pw.spans.size());
+  pw.buffer = buffer;
+  pw.issued_at = now();
+  pw.on_complete = std::move(on_complete);
+
+  ++stats_.writes_issued;
+  auto [it, inserted] = pending_writes_.emplace(id, std::move(pw));
+  SAISIM_CHECK(inserted);
+  for (u64 s = 0; s < it->second.spans.size(); ++s) {
+    send_strip_write(id, it->second, s);
+  }
+  return id;
+}
+
+void PfsClient::send_strip_write(RequestId id, const PendingWrite& pw,
+                                 u64 span_idx) {
+  const StripSpan& span = pw.spans[span_idx];
+  net::Packet data;
+  data.id = next_packet_id_++;
+  data.kind = net::PacketKind::kPfsWriteData;
+  data.src = self_;
+  data.dst = servers_[static_cast<u64>(span.server)];
+  data.request = id;
+  data.owner_process = pw.proc;
+  data.strip_index = static_cast<u32>(span_idx);
+  data.payload_bytes = span.bytes;
+  // Acks land in the client's control scratch region.
+  data.dma_addr = control_scratch_.base;
+  data.file_offset = span.file_offset;
+  data.span_bytes = span.bytes;
+  if (decorator_) decorator_(data, pw.hint);
+  ++stats_.strips_written;
+  network_.send(std::move(data));
+}
+
+void PfsClient::on_write_ack(const net::Packet& p, CoreId handler, Time at) {
+  auto it = pending_writes_.find(p.request);
+  if (it == pending_writes_.end()) {
+    ++stats_.duplicate_strips;
+    return;
+  }
+  PendingWrite& pw = it->second;
+  const u64 s = p.strip_index;
+  SAISIM_CHECK(s < pw.acked.size());
+  if (pw.acked[s]) {
+    ++stats_.duplicate_strips;
+    return;
+  }
+  pw.acked[s] = true;
+  SAISIM_CHECK(pw.outstanding > 0);
+  if (--pw.outstanding > 0) return;
+
+  ReadResult result;
+  result.request = p.request;
+  result.buffer = pw.buffer;
+  result.issued_at = pw.issued_at;
+  result.completed_at = at;
+  result.strips = static_cast<u32>(pw.spans.size());
+  result.final_handler = handler;
+  auto cb = std::move(pw.on_complete);
+  pending_writes_.erase(it);
+  ++stats_.writes_completed;
+  stats_.write_latency_us.add(
+      (result.completed_at - result.issued_at).microseconds());
+  if (cb) cb(result);
+}
+
+void PfsClient::arm_timeout(RequestId id) {
+  auto it = pending_.find(id);
+  SAISIM_CHECK(it != pending_.end());
+  it->second.timeout = sim().after(it->second.current_timeout,
+                                   [this, id] { on_timeout(id); });
+}
+
+void PfsClient::on_timeout(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // completed in the same tick
+  PendingRead& pr = it->second;
+  pr.timeout.reset();
+  SAISIM_CHECK_MSG(pr.retries_left-- > 0,
+                   "PFS read exceeded retransmit budget — lost strips");
+  for (u64 s = 0; s < pr.spans.size(); ++s) {
+    if (pr.received[s]) continue;
+    ++stats_.retransmits;
+    ++pr.retransmitted;
+    send_strip_request(id, pr, s);
+  }
+  // RTO backoff: congestion (as opposed to loss) must not be amplified by
+  // ever-faster retries.
+  pr.current_timeout = pr.current_timeout * 2;
+  arm_timeout(id);
+}
+
+void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
+  if (p.kind == net::PacketKind::kMetaReply) {
+    auto it = pending_opens_.find(p.request);
+    SAISIM_CHECK(it != pending_opens_.end());
+    auto cb = std::move(it->second);
+    pending_opens_.erase(it);
+    if (cb) cb(at);
+    return;
+  }
+  if (p.kind == net::PacketKind::kPfsWriteAck) {
+    on_write_ack(p, handler, at);
+    return;
+  }
+  SAISIM_CHECK(p.kind == net::PacketKind::kPfsData);
+
+  auto it = pending_.find(p.request);
+  if (it == pending_.end()) {
+    ++stats_.duplicate_strips;  // reply to an already-satisfied retransmit
+    return;
+  }
+  PendingRead& pr = it->second;
+  const u64 s = p.strip_index;
+  SAISIM_CHECK(s < pr.received.size());
+  if (pr.received[s]) {
+    ++stats_.duplicate_strips;
+    return;
+  }
+  pr.received[s] = true;
+  ++stats_.strips_received;
+  if (pr.strip_consumer) pr.strip_consumer(p, handler, at);
+  SAISIM_CHECK(pr.outstanding > 0);
+  if (--pr.outstanding > 0) return;
+
+  // All peer strips arrived and were protocol-processed; wake the reader.
+  sim().cancel(pr.timeout);
+  ReadResult result;
+  result.request = p.request;
+  result.buffer = pr.buffer;
+  result.issued_at = pr.issued_at;
+  result.completed_at = at;
+  result.strips = static_cast<u32>(pr.spans.size());
+  result.retransmitted_strips = pr.retransmitted;
+  result.final_handler = handler;
+  auto cb = std::move(pr.on_complete);
+  pending_.erase(it);
+  ++stats_.reads_completed;
+  stats_.read_latency_us.add((result.completed_at - result.issued_at).microseconds());
+  if (cb) cb(result);
+}
+
+}  // namespace saisim::pfs

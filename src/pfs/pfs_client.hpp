@@ -1,0 +1,158 @@
+// Client-side PVFS protocol engine.
+//
+// A read fans out one request packet per strip to the I/O servers holding
+// the range, tracks per-strip completion as reply interrupts are handled,
+// retransmits strips lost to RX overruns, and reports completion (from
+// softirq context, on whichever core handled the final strip).
+//
+// The class is policy-agnostic: a RequestDecorator installed by the SAIs
+// stack stamps the aff_core_id hint into outgoing requests; without it the
+// client behaves like an unmodified PVFS client.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "net/nic.hpp"
+#include "pfs/stripe_layout.hpp"
+#include "stats/summary.hpp"
+
+namespace saisim::pfs {
+
+struct PfsClientConfig {
+  u64 request_msg_bytes = 256;
+  /// Initial retransmit timeout; doubles on every retry (RTO backoff), so
+  /// congestion delays are waited out rather than amplified.
+  Time retransmit_timeout = Time::ms(500);
+  int max_retransmits = 16;
+};
+
+struct ReadResult {
+  RequestId request = -1;
+  mem::AddressRange buffer;
+  Time issued_at = Time::zero();
+  Time completed_at = Time::zero();
+  u32 strips = 0;
+  u32 retransmitted_strips = 0;
+  /// Core that handled the final strip's softirq (wake-up origin).
+  CoreId final_handler = kNoCore;
+};
+
+struct PfsClientStats {
+  u64 reads_issued = 0;
+  u64 reads_completed = 0;
+  u64 writes_issued = 0;
+  u64 writes_completed = 0;
+  u64 strips_requested = 0;
+  u64 strips_received = 0;
+  u64 strips_written = 0;
+  u64 retransmits = 0;
+  u64 duplicate_strips = 0;
+  stats::Summary read_latency_us;
+  stats::Summary write_latency_us;
+};
+
+class PfsClient : public sim::Actor {
+ public:
+  using RequestDecorator =
+      std::function<void(net::Packet&, std::optional<CoreId> hint)>;
+  using ReadCallback = std::function<void(const ReadResult&)>;
+  /// Invoked once per received strip, from softirq context on the handling
+  /// core. Callers use it to model the kernel's incremental copy of each
+  /// strip to the blocked reader (which runs on the reader's core — the
+  /// step where balanced interrupt placement pays the cross-core
+  /// migration).
+  using StripConsumer =
+      std::function<void(const net::Packet&, CoreId handler, Time)>;
+
+  PfsClient(sim::Simulation& simulation, net::Network& network,
+            net::ClientNic& nic, NodeId self, StripeLayout layout,
+            std::vector<NodeId> server_nodes, NodeId meta_node,
+            mem::AddressSpace& address_space, PfsClientConfig config = {});
+
+  /// Metadata open round-trip; `on_open` fires when the layout arrives.
+  void open(ProcessId proc, std::function<void(Time)> on_open);
+
+  /// Issue a striped read. `hint` is the requesting core's id (present only
+  /// when the SAIs stack is active); the decorator encodes it.
+  RequestId read(ProcessId proc, std::optional<CoreId> hint, u64 file_offset,
+                 u64 bytes, ReadCallback on_complete,
+                 StripConsumer strip_consumer = nullptr);
+
+  /// Issue a striped write from `buffer`. Data packets fan out to the
+  /// servers; completion fires when every strip is acknowledged. Writes
+  /// have no client-side locality issue (the paper's §I) — acks are tiny —
+  /// so this path serves as the negative control.
+  RequestId write(ProcessId proc, std::optional<CoreId> hint, u64 file_offset,
+                  mem::AddressRange buffer, ReadCallback on_complete);
+
+  void set_request_decorator(RequestDecorator d) { decorator_ = std::move(d); }
+
+  /// Allocate a client-memory buffer (e.g. a write source) from the node's
+  /// address space.
+  mem::AddressRange allocate_buffer(u64 bytes) {
+    return address_space_.allocate(bytes);
+  }
+
+  const PfsClientStats& stats() const { return stats_; }
+  const StripeLayout& layout() const { return layout_; }
+
+ private:
+  struct PendingRead {
+    ProcessId proc = -1;
+    std::optional<CoreId> hint;
+    std::vector<StripSpan> spans;
+    std::vector<bool> received;
+    u32 outstanding = 0;
+    u32 retransmitted = 0;
+    int retries_left = 0;
+    Time current_timeout = Time::zero();
+    mem::AddressRange buffer;
+    Time issued_at = Time::zero();
+    ReadCallback on_complete;
+    StripConsumer strip_consumer;
+    sim::EventHandle timeout;
+  };
+
+  struct PendingWrite {
+    ProcessId proc = -1;
+    std::optional<CoreId> hint;
+    std::vector<StripSpan> spans;
+    std::vector<bool> acked;
+    u32 outstanding = 0;
+    mem::AddressRange buffer;
+    Time issued_at = Time::zero();
+    ReadCallback on_complete;
+    sim::EventHandle timeout;
+  };
+
+  void on_rx(const net::Packet& p, CoreId handler, Time at);
+  void send_strip_request(RequestId id, const PendingRead& pr, u64 span_idx);
+  void send_strip_write(RequestId id, const PendingWrite& pw, u64 span_idx);
+  void on_write_ack(const net::Packet& p, CoreId handler, Time at);
+  void arm_timeout(RequestId id);
+  void on_timeout(RequestId id);
+
+  net::Network& network_;
+  net::ClientNic& nic_;
+  NodeId self_;
+  StripeLayout layout_;
+  std::vector<NodeId> servers_;
+  NodeId meta_node_;
+  mem::AddressSpace& address_space_;
+  PfsClientConfig cfg_;
+  RequestDecorator decorator_;
+
+  std::unordered_map<RequestId, PendingRead> pending_;
+  std::unordered_map<RequestId, PendingWrite> pending_writes_;
+  std::unordered_map<RequestId, std::function<void(Time)>> pending_opens_;
+  mem::AddressRange control_scratch_;
+  RequestId next_request_ = 1;
+  u64 next_packet_id_ = 1;
+  PfsClientStats stats_;
+};
+
+}  // namespace saisim::pfs

@@ -1,0 +1,202 @@
+#include "realmem/real_memsim.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace saisim::realmem {
+
+namespace {
+
+bool pin_to_core(std::thread& t, unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % std::thread::hardware_concurrency(), &set);
+  return pthread_setaffinity_np(t.native_handle(), sizeof set, &set) == 0;
+#else
+  (void)t;
+  (void)core;
+  return false;
+#endif
+}
+
+/// Deterministic fill so checksums are reproducible.
+void fill_pattern(u64* data, u64 words, u64 seed) {
+  u64 x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (u64 i = 0; i < words; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    data[i] = x;
+  }
+}
+
+u64 xor_reduce(const u64* data, u64 words) {
+  u64 acc = 0;
+  for (u64 i = 0; i < words; ++i) acc ^= data[i];
+  return acc;
+}
+
+/// Single-producer single-consumer ring of transfer buffers.
+class SpscRing {
+ public:
+  SpscRing(int slots, u64 slot_bytes)
+      : slot_bytes_(slot_bytes), slots_(static_cast<u64>(slots)) {
+    storage_.resize(slots_ * slot_bytes_ / sizeof(u64));
+  }
+
+  u64* slot(u64 index) {
+    return storage_.data() + (index % slots_) * (slot_bytes_ / sizeof(u64));
+  }
+
+  bool can_push() const {
+    return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire) <
+           slots_;
+  }
+  bool can_pop() const {
+    return head_.load(std::memory_order_acquire) >
+           tail_.load(std::memory_order_acquire);
+  }
+
+  u64 push_index() const { return head_.load(std::memory_order_relaxed); }
+  u64 pop_index() const { return tail_.load(std::memory_order_relaxed); }
+
+  void publish() { head_.fetch_add(1, std::memory_order_release); }
+  void release() { tail_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  u64 slot_bytes_;
+  u64 slots_;
+  std::vector<u64> storage_;
+  std::atomic<u64> head_{0};
+  std::atomic<u64> tail_{0};
+};
+
+struct PairState {
+  explicit PairState(const RealMemConfig& cfg, int index)
+      : ring(cfg.ring_slots, cfg.transfer_size),
+        source(cfg.ram_disk_bytes / sizeof(u64)) {
+    fill_pattern(source.data(), source.size(), static_cast<u64>(index) + 1);
+  }
+  SpscRing ring;
+  std::vector<u64> source;
+  u64 checksum = 0;
+};
+
+}  // namespace
+
+u64 expected_checksum(const RealMemConfig& cfg) {
+  u64 total = 0;
+  for (int p = 0; p < cfg.num_pairs; ++p) {
+    std::vector<u64> source(cfg.ram_disk_bytes / sizeof(u64));
+    fill_pattern(source.data(), source.size(), static_cast<u64>(p) + 1);
+    u64 offset = 0;
+    u64 done = 0;
+    u64 acc = 0;
+    while (done < cfg.bytes_per_pair) {
+      const u64 chunk = std::min(cfg.transfer_size, cfg.bytes_per_pair - done);
+      // XOR over the source window the reader would copy.
+      for (u64 b = 0; b < chunk; b += cfg.strip_size) {
+        const u64 piece = std::min(cfg.strip_size, chunk - b);
+        const u64 start = (offset + b) % cfg.ram_disk_bytes;
+        acc ^= xor_reduce(source.data() + start / sizeof(u64),
+                          piece / sizeof(u64));
+      }
+      offset = (offset + chunk) % cfg.ram_disk_bytes;
+      done += chunk;
+    }
+    total ^= acc;
+  }
+  return total;
+}
+
+RealMemResult run_real_memsim(const RealMemConfig& cfg) {
+  SAISIM_CHECK(cfg.num_pairs > 0);
+  SAISIM_CHECK(cfg.transfer_size % sizeof(u64) == 0);
+  SAISIM_CHECK(cfg.strip_size % sizeof(u64) == 0);
+  SAISIM_CHECK(cfg.transfer_size % cfg.strip_size == 0);
+  SAISIM_CHECK(cfg.ram_disk_bytes % cfg.transfer_size == 0);
+  SAISIM_CHECK(cfg.bytes_per_pair % cfg.transfer_size == 0);
+
+  std::vector<std::unique_ptr<PairState>> pairs;
+  for (int p = 0; p < cfg.num_pairs; ++p) {
+    pairs.push_back(std::make_unique<PairState>(cfg, p));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<u64>(cfg.num_pairs) * 2);
+  bool pinning_ok = cfg.enable_pinning;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < cfg.num_pairs; ++p) {
+    PairState& st = *pairs[static_cast<u64>(p)];
+
+    threads.emplace_back([&st, &cfg] {  // reader
+      u64 offset = 0;
+      u64 produced = 0;
+      while (produced < cfg.bytes_per_pair) {
+        while (!st.ring.can_push()) std::this_thread::yield();
+        const u64 chunk =
+            std::min(cfg.transfer_size, cfg.bytes_per_pair - produced);
+        u64* dst = st.ring.slot(st.ring.push_index());
+        for (u64 b = 0; b < chunk; b += cfg.strip_size) {
+          const u64 piece = std::min(cfg.strip_size, chunk - b);
+          const u64 start = (offset + b) % cfg.ram_disk_bytes;
+          std::memcpy(dst + b / sizeof(u64),
+                      st.source.data() + start / sizeof(u64), piece);
+        }
+        st.ring.publish();
+        offset = (offset + chunk) % cfg.ram_disk_bytes;
+        produced += chunk;
+      }
+    });
+    threads.emplace_back([&st, &cfg] {  // combiner
+      u64 consumed = 0;
+      u64 acc = 0;
+      while (consumed < cfg.bytes_per_pair) {
+        while (!st.ring.can_pop()) std::this_thread::yield();
+        const u64 chunk =
+            std::min(cfg.transfer_size, cfg.bytes_per_pair - consumed);
+        const u64* src = st.ring.slot(st.ring.pop_index());
+        acc ^= xor_reduce(src, chunk / sizeof(u64));
+        st.ring.release();
+        consumed += chunk;
+      }
+      st.checksum = acc;
+    });
+
+    if (cfg.enable_pinning) {
+      const unsigned reader_core = static_cast<unsigned>(p) % hw;
+      const unsigned combiner_core =
+          cfg.pin_same_core ? reader_core
+                            : (reader_core + hw / 2) % hw;
+      pinning_ok &= pin_to_core(threads[threads.size() - 2], reader_core);
+      pinning_ok &= pin_to_core(threads[threads.size() - 1], combiner_core);
+    }
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RealMemResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.total_bytes = static_cast<u64>(cfg.num_pairs) * cfg.bytes_per_pair;
+  r.bandwidth_mbps = static_cast<double>(r.total_bytes) / 1e6 / r.seconds;
+  for (auto& p : pairs) r.checksum ^= p->checksum;
+  r.pinning_effective = pinning_ok;
+  return r;
+}
+
+}  // namespace saisim::realmem

@@ -1,0 +1,48 @@
+// A *real* (non-simulated) counterpart of the paper's §VI memory
+// experiment: reader/combiner thread pairs move strips from an in-memory
+// "RAM disk" through transfer buffers, with the pair either pinned to one
+// core (Si-SAIs) or split across cores (Si-Irqbalance).
+//
+// This measures actual cache-affinity effects on the host running the
+// benchmark. Results are hardware-dependent by nature, so tests assert
+// correctness (checksums, accounting), not timing.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace saisim::realmem {
+
+struct RealMemConfig {
+  u64 strip_size = 64ull << 10;
+  u64 transfer_size = 1ull << 20;
+  /// Bytes each pair pushes through its pipeline.
+  u64 bytes_per_pair = 256ull << 20;
+  /// Source region per pair (cycled through; sized to defeat the LLC).
+  u64 ram_disk_bytes = 64ull << 20;
+  int num_pairs = 2;
+  /// true = pin reader and combiner of a pair to the same core (Si-SAIs);
+  /// false = pin them to distant cores (Si-Irqbalance).
+  bool pin_same_core = true;
+  /// Disable pinning entirely (runs wherever the OS schedules).
+  bool enable_pinning = true;
+  /// Ring slots per pair (double buffering and beyond).
+  int ring_slots = 4;
+};
+
+struct RealMemResult {
+  double bandwidth_mbps = 0.0;
+  double seconds = 0.0;
+  u64 total_bytes = 0;
+  /// XOR-reduction over all combined data; deterministic for a given
+  /// config, so tests can verify the pipeline moved the right bytes.
+  u64 checksum = 0;
+  bool pinning_effective = false;
+};
+
+RealMemResult run_real_memsim(const RealMemConfig& cfg);
+
+/// Expected checksum for a config (computed single-threaded); used by tests
+/// to validate the concurrent pipeline.
+u64 expected_checksum(const RealMemConfig& cfg);
+
+}  // namespace saisim::realmem

@@ -1,0 +1,57 @@
+// The assembled SAIs client stack (paper §IV, Figure 3).
+//
+// Component map, paper -> this codebase:
+//   HintMessager  -> sais::HintMessager, installed as the PfsClient's
+//                    request decorator (step 1-2 of Figure 3);
+//   HintCapsuler  -> server side, pfs::IoServer echoes the options word
+//                    into every reply data packet (step 3);
+//   SrcParser     -> sais::SrcParser, installed as the NIC's hint parser
+//                    (step 4);
+//   IMComposer    -> apic::SourceAwarePolicy: the I/O APIC composes the
+//                    interrupt message with aff_core_id as the destination
+//                    local-APIC address (steps 5-6).
+//
+// SAIs additionally bundles the requesting process to its core for the
+// duration of blocking I/O; in this simulator processes are placed once
+// and never migrate (the paper notes migration during blocking I/O is
+// rare), so the pin is implicit.
+#pragma once
+
+#include <memory>
+
+#include "apic/routing_policy.hpp"
+#include "net/nic.hpp"
+#include "pfs/pfs_client.hpp"
+#include "sais/hint_messager.hpp"
+#include "sais/src_parser.hpp"
+
+namespace saisim::sais {
+
+class SaisClient {
+ public:
+  /// Install the SAIs components onto an existing client stack. The
+  /// SaisClient must outlive both `client` and `nic` usage.
+  SaisClient(pfs::PfsClient& client, net::ClientNic& nic) {
+    client.set_request_decorator(
+        [this](net::Packet& p, std::optional<CoreId> hint) {
+          messager_.stamp(p, hint);
+        });
+    nic.set_hint_parser(
+        [this](const net::Packet& p) { return parser_.parse(p); });
+  }
+
+  /// The IMComposer half: the interrupt-routing policy SAIs programs into
+  /// the I/O APIC.
+  static std::unique_ptr<apic::InterruptRoutingPolicy> make_policy() {
+    return std::make_unique<apic::SourceAwarePolicy>();
+  }
+
+  const HintMessager& messager() const { return messager_; }
+  const SrcParser& parser() const { return parser_; }
+
+ private:
+  HintMessager messager_;
+  SrcParser parser_;
+};
+
+}  // namespace saisim::sais

@@ -1,0 +1,41 @@
+// SrcParser — SAIs client component #2 (paper §IV.A).
+//
+// Runs in the NIC device driver before the interrupt message is composed:
+// parses the incoming packet's IP options field and extracts the
+// aff_core_id the interrupt should be delivered to. Malformed or absent
+// options yield no hint (the packet is then routed source-unaware).
+#pragma once
+
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace saisim::sais {
+
+class SrcParser {
+ public:
+  std::optional<CoreId> parse(const net::Packet& p) {
+    if (!p.ip_options.has_value()) {
+      ++unhinted_;
+      return std::nullopt;
+    }
+    const auto core = net::IpOptions::parse(*p.ip_options);
+    if (!core.has_value()) {
+      ++malformed_;
+      return std::nullopt;
+    }
+    ++parsed_;
+    return core;
+  }
+
+  u64 parsed() const { return parsed_; }
+  u64 unhinted() const { return unhinted_; }
+  u64 malformed() const { return malformed_; }
+
+ private:
+  u64 parsed_ = 0;
+  u64 unhinted_ = 0;
+  u64 malformed_ = 0;
+};
+
+}  // namespace saisim::sais

@@ -1,0 +1,24 @@
+// Convenience base for model components that live inside one Simulation.
+#pragma once
+
+#include "sim/simulation.hpp"
+
+namespace saisim::sim {
+
+class Actor {
+ public:
+  explicit Actor(Simulation& simulation) : sim_(simulation) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+ protected:
+  Simulation& sim() const { return sim_; }
+  Time now() const { return sim_.now(); }
+
+ private:
+  Simulation& sim_;
+};
+
+}  // namespace saisim::sim

@@ -1,0 +1,132 @@
+// Deterministic pending-event set for the discrete-event kernel.
+//
+// Events are ordered by (time, sequence number): simultaneous events fire in
+// the order they were scheduled, which makes every simulation run bit-for-bit
+// reproducible. Cancellation is O(1) via a generation handle (lazy deletion
+// at pop time), which the CPU model uses to preempt in-flight work bursts.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace saisim::sim {
+
+/// Handle identifying a scheduled event so it can be cancelled.
+struct EventHandle {
+  u64 seq = 0;
+  constexpr bool valid() const { return seq != 0; }
+  constexpr void reset() { seq = 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when`. `when` must not precede the
+  /// last popped time (no scheduling into the past).
+  EventHandle schedule(Time when, Callback fn) {
+    SAISIM_CHECK_MSG(when >= last_popped_, "event scheduled into the past");
+    const u64 seq = ++next_seq_;
+    heap_.push(Entry{when, seq, std::move(fn)});
+    ++live_;
+    return EventHandle{seq};
+  }
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled handle is a checked error (callers own their handles).
+  void cancel(EventHandle h) {
+    SAISIM_CHECK(h.valid());
+    const bool inserted = cancelled_.insert_unique(h.seq);
+    SAISIM_CHECK_MSG(inserted, "double-cancel of simulation event");
+    SAISIM_CHECK(live_ > 0);
+    --live_;
+  }
+
+  bool empty() const { return live_ == 0; }
+  u64 size() const { return live_; }
+
+  /// Time of the next live event. Requires !empty().
+  Time next_time() {
+    skip_cancelled();
+    SAISIM_CHECK(!heap_.empty());
+    return heap_.top().when;
+  }
+
+  /// Pop and return the next live event.
+  struct Fired {
+    Time when;
+    Callback fn;
+  };
+  Fired pop() {
+    skip_cancelled();
+    SAISIM_CHECK(!heap_.empty());
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    SAISIM_CHECK(live_ > 0);
+    --live_;
+    last_popped_ = top.when;
+    return Fired{top.when, std::move(top.fn)};
+  }
+
+  Time last_popped() const { return last_popped_; }
+
+ private:
+  struct Entry {
+    Time when;
+    u64 seq;
+    Callback fn;
+    // Min-heap on (when, seq).
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  // Small open-addressing set tuned for the "few cancellations outstanding"
+  // case; falls back to std::vector scan semantics but amortised O(1).
+  class CancelSet {
+   public:
+    bool insert_unique(u64 seq) {
+      if (contains(seq)) return false;
+      set_.push_back(seq);
+      return true;
+    }
+    bool erase_if_present(u64 seq) {
+      for (u64 i = 0; i < set_.size(); ++i) {
+        if (set_[i] == seq) {
+          set_[i] = set_.back();
+          set_.pop_back();
+          return true;
+        }
+      }
+      return false;
+    }
+    bool contains(u64 seq) const {
+      for (u64 s : set_)
+        if (s == seq) return true;
+      return false;
+    }
+
+   private:
+    std::vector<u64> set_;
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty() && cancelled_.erase_if_present(heap_.top().seq)) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  CancelSet cancelled_;
+  u64 next_seq_ = 0;
+  u64 live_ = 0;
+  Time last_popped_ = Time::zero();
+};
+
+}  // namespace saisim::sim

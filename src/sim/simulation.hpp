@@ -1,0 +1,83 @@
+// The discrete-event simulation kernel: a clock plus an event queue.
+//
+// Every model component holds a Simulation& and drives itself by scheduling
+// callbacks. The kernel is deliberately tiny; all domain behaviour lives in
+// the mem/cpu/apic/net/pfs modules layered on top.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace saisim::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(u64 seed = 0x5A15u) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` from now.
+  EventHandle after(Time delay, EventQueue::Callback fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute simulated time (>= now).
+  EventHandle at(Time when, EventQueue::Callback fn) {
+    SAISIM_CHECK(when >= now_);
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Run one event. Returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto fired = queue_.pop();
+    now_ = fired.when;
+    ++events_executed_;
+    fired.fn();
+    return true;
+  }
+
+  /// Run until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run until the queue drains or the clock passes `deadline`; events at
+  /// exactly `deadline` still execute.
+  void run_until(Time deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Run until `pred()` becomes true (checked after each event) or the
+  /// queue drains. Returns whether the predicate was satisfied.
+  bool run_while(const std::function<bool()>& keep_going) {
+    while (keep_going()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+  u64 events_executed() const { return events_executed_; }
+  u64 pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  Rng rng_;
+  u64 events_executed_ = 0;
+};
+
+}  // namespace saisim::sim

@@ -1,0 +1,93 @@
+#include "stats/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace saisim::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SAISIM_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  SAISIM_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  char buf[64];
+  if (const auto* d = std::get_if<double>(&c)) {
+    std::snprintf(buf, sizeof buf, "%.2f", *d);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%lld",
+                static_cast<long long>(std::get<i64>(c)));
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<u64> widths(headers_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (u64 c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (u64 c = 0; c < row.size(); ++c) {
+      r.push_back(render_cell(row[c]));
+      widths[c] = std::max<u64>(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (u64 c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      for (u64 pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (u64 c = 0; c < headers_.size(); ++c) {
+    if (c) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& r : rendered) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (u64 c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << escape(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (u64 c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << escape(render_cell(row[c]));
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text(); }
+
+}  // namespace saisim::stats

@@ -1,0 +1,40 @@
+// Column-aligned text tables and CSV output for the figure harnesses.
+//
+// Every bench prints its figure as one of these tables so the series the
+// paper plots can be read (and diffed) directly from the bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace saisim::stats {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, i64>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<Cell> cells);
+  u64 rows() const { return rows_.size(); }
+  u64 cols() const { return headers_.size(); }
+
+  /// Render with aligned columns.
+  std::string to_text() const;
+  /// Render as RFC-4180-ish CSV.
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  static std::string render_cell(const Cell& c);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace saisim::stats

@@ -1,0 +1,32 @@
+// Simulation invariant checks that stay on in release builds.
+//
+// A simulator that silently corrupts its event ordering or cache bookkeeping
+// produces plausible-looking wrong numbers, so invariant violations abort
+// loudly regardless of NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace saisim::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "saisim invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace saisim::detail
+
+#define SAISIM_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::saisim::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);  \
+  } while (0)
+
+#define SAISIM_CHECK_MSG(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::saisim::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

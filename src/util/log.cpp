@@ -1,0 +1,16 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace saisim {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  static constexpr const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN"};
+  const int idx = static_cast<int>(lvl);
+  std::fprintf(stderr, "[saisim %s] %s\n", idx >= 0 && idx < 4 ? names[idx] : "?",
+               msg.c_str());
+}
+
+}  // namespace saisim

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (simulations emit millions of events); tests and
+// examples flip the level when tracing a scenario. Not thread-safe by design:
+// the DES core is single-threaded, and the real-thread harness does not log
+// from workers.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace saisim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static bool enabled(LogLevel lvl) { return lvl >= level_; }
+  static void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace saisim
+
+#define SAISIM_LOG(lvl, stream_expr)                       \
+  do {                                                     \
+    if (::saisim::Log::enabled(lvl)) {                     \
+      std::ostringstream saisim_log_os;                    \
+      saisim_log_os << stream_expr;                        \
+      ::saisim::Log::write(lvl, saisim_log_os.str());      \
+    }                                                      \
+  } while (0)
+
+#define SAISIM_TRACE(s) SAISIM_LOG(::saisim::LogLevel::kTrace, s)
+#define SAISIM_DEBUG(s) SAISIM_LOG(::saisim::LogLevel::kDebug, s)
+#define SAISIM_INFO(s) SAISIM_LOG(::saisim::LogLevel::kInfo, s)
+#define SAISIM_WARN(s) SAISIM_LOG(::saisim::LogLevel::kWarn, s)

@@ -1,0 +1,53 @@
+// Fixed-capacity FIFO ring used for NIC RX rings and device queues.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace saisim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(u64 capacity) : slots_(capacity) {
+    SAISIM_CHECK(capacity > 0);
+  }
+
+  bool full() const { return count_ == slots_.size(); }
+  bool empty() const { return count_ == 0; }
+  u64 size() const { return count_; }
+  u64 capacity() const { return slots_.size(); }
+
+  /// Returns false (and drops the item) when the ring is full — callers
+  /// model this as a NIC RX overrun and count it.
+  [[nodiscard]] bool push(T item) {
+    if (full()) return false;
+    slots_[(head_ + count_) % slots_.size()] = std::move(item);
+    ++count_;
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return out;
+  }
+
+  const T& front() const {
+    SAISIM_CHECK(!empty());
+    return slots_[head_];
+  }
+
+ private:
+  std::vector<T> slots_;
+  u64 head_ = 0;
+  u64 count_ = 0;
+};
+
+}  // namespace saisim

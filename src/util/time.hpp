@@ -1,0 +1,133 @@
+// Integral simulated-time type (picoseconds) plus frequency/cycle helpers.
+//
+// The simulator never uses floating point for the clock: a picosecond tick
+// represents sub-cycle resolution at multi-GHz core frequencies, and an
+// i64 count covers ~106 days of simulated time, far beyond any experiment.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace saisim {
+
+/// A point in (or span of) simulated time, counted in integer picoseconds.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors: always say the unit at the call site.
+  static constexpr Time ps(i64 v) { return Time{v}; }
+  static constexpr Time ns(i64 v) { return Time{v * 1'000}; }
+  static constexpr Time us(i64 v) { return Time{v * 1'000'000}; }
+  static constexpr Time ms(i64 v) { return Time{v * 1'000'000'000}; }
+  static constexpr Time sec(i64 v) { return Time{v * 1'000'000'000'000}; }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() { return Time{INT64_MAX}; }
+
+  /// Build from a floating-point second count (used only at config
+  /// boundaries, never in the hot simulation path).
+  static constexpr Time from_seconds(double s) {
+    return Time{static_cast<i64>(s * 1e12)};
+  }
+
+  constexpr i64 picoseconds() const { return ps_; }
+  constexpr double nanoseconds() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double microseconds() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double milliseconds() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double seconds() const { return static_cast<double>(ps_) / 1e12; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time o) const { return Time{ps_ + o.ps_}; }
+  constexpr Time operator-(Time o) const { return Time{ps_ - o.ps_}; }
+  constexpr Time& operator+=(Time o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr Time operator*(i64 k) const { return Time{ps_ * k}; }
+  constexpr Time operator/(i64 k) const { return Time{ps_ / k}; }
+  /// Ratio of two spans (e.g. utilisation = busy / elapsed).
+  constexpr double ratio(Time denom) const {
+    return denom.ps_ == 0 ? 0.0
+                          : static_cast<double>(ps_) / static_cast<double>(denom.ps_);
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(i64 v) : ps_(v) {}
+  i64 ps_ = 0;
+};
+
+inline constexpr Time operator*(i64 k, Time t) { return t * k; }
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+/// A CPU cycle count. Kept distinct from Time so that "cycles on which core
+/// frequency?" is always answered explicitly via Frequency.
+class Cycles {
+ public:
+  constexpr Cycles() = default;
+  explicit constexpr Cycles(i64 v) : n_(v) {}
+  constexpr i64 count() const { return n_; }
+
+  constexpr auto operator<=>(const Cycles&) const = default;
+  constexpr Cycles operator+(Cycles o) const { return Cycles{n_ + o.n_}; }
+  constexpr Cycles operator-(Cycles o) const { return Cycles{n_ - o.n_}; }
+  constexpr Cycles& operator+=(Cycles o) {
+    n_ += o.n_;
+    return *this;
+  }
+  constexpr Cycles operator*(i64 k) const { return Cycles{n_ * k}; }
+  static constexpr Cycles zero() { return Cycles{0}; }
+
+ private:
+  i64 n_ = 0;
+};
+
+inline constexpr Cycles operator*(i64 k, Cycles c) { return c * k; }
+
+/// A clock frequency; converts between Cycles and Time exactly
+/// (picoseconds-per-cycle is computed with integer rounding to nearest).
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  static constexpr Frequency hz(i64 v) { return Frequency{v}; }
+  static constexpr Frequency mhz(i64 v) { return Frequency{v * 1'000'000}; }
+  static constexpr Frequency ghz(double v) {
+    return Frequency{static_cast<i64>(v * 1e9)};
+  }
+
+  constexpr i64 hertz() const { return hz_; }
+
+  /// Duration of `c` cycles at this frequency.
+  constexpr Time duration(Cycles c) const {
+    // ps = cycles * 1e12 / hz, via a 128-bit intermediate.
+    const auto ps = static_cast<i128>(c.count()) * 1'000'000'000'000 / hz_;
+    return Time::ps(static_cast<i64>(ps));
+  }
+
+  /// Number of whole cycles elapsing in `t` (rounds down).
+  constexpr Cycles cycles_in(Time t) const {
+    const auto cyc =
+        static_cast<i128>(t.picoseconds()) * hz_ / 1'000'000'000'000;
+    return Cycles{static_cast<i64>(cyc)};
+  }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  explicit constexpr Frequency(i64 v) : hz_(v) {}
+  i64 hz_ = 1;
+};
+
+}  // namespace saisim

@@ -1,0 +1,40 @@
+// Basic integer aliases and identifier types shared by every saisim module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace saisim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// 128-bit intermediates for overflow-free unit conversions.
+__extension__ using i128 = __int128;
+__extension__ using u128 = unsigned __int128;
+
+/// Index of a core on a (simulated) client node. Core ids are dense, 0-based.
+using CoreId = i32;
+/// Sentinel for "no core" (e.g. an interrupt with no affinity hint).
+inline constexpr CoreId kNoCore = -1;
+
+/// Identifier of a node in the simulated cluster (clients, servers, switch).
+using NodeId = i32;
+inline constexpr NodeId kNoNode = -1;
+
+/// Identifier of a simulated application process.
+using ProcessId = i64;
+/// Identifier of one application-level I/O request (the "source" in
+/// source-aware nomenclature: all interrupts for one RequestId are peers).
+using RequestId = i64;
+
+/// Simulated physical address (used by the cache model).
+using Address = u64;
+
+}  // namespace saisim

@@ -1,0 +1,125 @@
+// An IOR-like application process (paper §V.B).
+//
+// Closed loop, as IOR's read phase is: open the file, then repeatedly
+// read `transfer_size` bytes, consume them (walk the buffer) and run the
+// added compute task (the paper adds encryption of every collected block),
+// until `total_bytes` have been read.
+//
+// The consume step is where the locality bill is paid: the first pass over
+// the buffer either hits the home core's private cache (strips whose
+// softirq ran here) or drags lines across cores / from DRAM.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "cpu/cpu_system.hpp"
+#include "mem/memory_system.hpp"
+#include "pfs/pfs_client.hpp"
+
+namespace saisim::workload {
+
+enum class IorMode {
+  kRead,   // the paper's focus: parallel read with source-aware interrupts
+  kWrite,  // negative control: writes have no client-side locality issue
+};
+
+enum class AccessPattern {
+  kSequential,  // IOR's default streaming read
+  kRandom,      // IOR's random mode: transfer-aligned random offsets
+};
+
+struct IorConfig {
+  IorMode mode = IorMode::kRead;
+  AccessPattern pattern = AccessPattern::kSequential;
+  u64 transfer_size = 1ull << 20;
+  u64 total_bytes = 32ull << 20;
+  u64 file_offset_start = 0;
+  /// Size of the file region random-mode offsets are drawn from.
+  u64 file_region_bytes = 1ull << 30;
+  /// Probability that the OS migrates the blocked process to the currently
+  /// least-loaded core while it waits for I/O. The paper's §III policy (i)
+  /// stamps the *issuing* core into the request, so a migration makes the
+  /// hint stale; the paper argues such migrations are rare during blocking
+  /// I/O ("the expected performance difference ... is trivial"). Swept by
+  /// the migration ablation.
+  double wake_migration_probability = 0.0;
+  /// Encryption cost per byte, in hundredths of a cycle (the paper's added
+  /// compute task; ~12 cycles/byte for a software cipher on K10).
+  i64 compute_centicycles_per_byte = 1200;
+  /// Block-local re-accesses per cache line during compute (the cipher
+  /// reads each block several times while it is hot). These guaranteed hits
+  /// model the application's own locality and set the baseline hit traffic
+  /// the paper's miss *rates* are diluted by.
+  int compute_reuse_per_line = 3;
+  /// read() syscall + request build cost per I/O.
+  Cycles syscall_cycles{8000};
+  /// Fixed kernel cost of handing one arrived strip to the reader (on top
+  /// of the per-line memory cost, which depends on where the strip is).
+  Cycles copy_cycles_per_strip{2000};
+  /// When true, each strip is copied to the reader's core as it arrives
+  /// (overlapping with the remaining network transfer — the paper's T_O).
+  /// Default false: the reader touches the data when read() returns, which
+  /// is the serial migration cost T_M the paper's model charges. The
+  /// overlap ablation bench flips this.
+  bool incremental_copy = false;
+  /// Wake-up/IPI handling cost when the final strip's softirq ran on
+  /// another core.
+  Cycles remote_wakeup_cycles{4000};
+};
+
+struct IorProcessStats {
+  u64 bytes_read = 0;
+  u64 reads_completed = 0;
+  u64 migrations = 0;
+  Time started_at = Time::zero();
+  Time finished_at = Time::zero();
+
+  double bandwidth_mbps() const {
+    const Time elapsed = finished_at - started_at;
+    return throughput_mbps(bytes_read, elapsed);
+  }
+};
+
+class IorProcess : public sim::Actor {
+ public:
+  /// `send_hints` distinguishes a SAIs-aware process (stamps its core id
+  /// into requests) from a plain one.
+  IorProcess(sim::Simulation& simulation, cpu::CpuSystem& cpus,
+             mem::MemorySystem& memory, pfs::PfsClient& client,
+             ProcessId pid, CoreId home_core, bool send_hints,
+             IorConfig config);
+
+  /// Begin the open + read loop; `on_finished` fires after the last
+  /// consume completes.
+  void start(std::function<void(const IorProcessStats&)> on_finished);
+
+  ProcessId pid() const { return pid_; }
+  CoreId home_core() const { return home_; }
+  const IorProcessStats& stats() const { return stats_; }
+  bool finished() const { return finished_; }
+
+ private:
+  void issue_next_read(Time now);
+  void issue_next_write(Time now);
+  u64 next_io_offset();
+  void copy_strip_to_reader(const net::Packet& strip);
+  void on_read_complete(const pfs::ReadResult& result);
+  void consume(const pfs::ReadResult& result);
+  void account_io(u64 bytes, Time at);
+
+  cpu::CpuSystem& cpus_;
+  mem::MemorySystem& memory_;
+  pfs::PfsClient& client_;
+  ProcessId pid_;
+  CoreId home_;
+  bool send_hints_;
+  IorConfig cfg_;
+
+  u64 next_offset_ = 0;
+  IorProcessStats stats_;
+  bool finished_ = false;
+  std::function<void(const IorProcessStats&)> on_finished_;
+};
+
+}  // namespace saisim::workload

@@ -1,0 +1,142 @@
+// Tests of the paper's §III analytic model, including property-style
+// parameterised sweeps of the inequalities.
+#include "analysis/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/units.hpp"
+
+namespace saisim::analysis {
+namespace {
+
+ModelParams base_params() {
+  ModelParams p;
+  p.num_cores = 8;
+  p.num_servers = 16;
+  p.num_requests = 10;
+  p.strip_processing = Time::us(20);
+  p.strip_migration = Time::us(200);
+  p.rest = Time::ms(1);
+  return p;
+}
+
+TEST(AnalyticModel, AlphaIsServersPerCore) {
+  EXPECT_DOUBLE_EQ(base_params().alpha(), 2.0);
+}
+
+TEST(AnalyticModel, SourceAwareTimeEquation5) {
+  // T_sa = TR + P * NS * NR = 1ms + 20us * 160 = 4.2 ms.
+  EXPECT_EQ(t_source_aware(base_params()), Time::ms(1) + Time::us(3200));
+}
+
+TEST(AnalyticModel, BalancedLowerBoundEquation6) {
+  // T_bal >= TR + M * alpha * (NC-1) * NR = 1ms + 200us * 2 * 7 * 10.
+  EXPECT_EQ(t_balanced_lower_bound(base_params()),
+            Time::ms(1) + Time::us(28000));
+}
+
+TEST(AnalyticModel, BalancedMigrationCount) {
+  // NS * (NC-1)/NC strips migrate per request.
+  ModelParams p = base_params();
+  p.num_requests = 1;
+  EXPECT_EQ(balanced_migrations(p), 14);
+}
+
+TEST(AnalyticModel, GapEquation9) {
+  // (NC-1) * NR * alpha * (M-P) = 7 * 10 * 2 * 180us = 25.2 ms.
+  EXPECT_EQ(min_gap(base_params()), Time::us(25200));
+}
+
+TEST(AnalyticModel, MultiprogramBoundsEquation8) {
+  ModelParams p = base_params();
+  p.num_programs = 4;
+  const auto b = t_source_aware_multiprogram(p);
+  EXPECT_EQ(b.upper, t_source_aware(p));
+  EXPECT_LT(b.lower, b.upper);
+  // Lower bound divides the work across NP cores.
+  EXPECT_EQ(b.lower, p.rest + p.strip_processing * (160 / 4));
+}
+
+TEST(AnalyticModel, MultiprogramConcurrencyCappedByCores) {
+  ModelParams p = base_params();
+  p.num_programs = 100;  // NP > NC
+  const auto b = t_source_aware_multiprogram(p);
+  EXPECT_EQ(b.lower, p.rest + p.strip_processing * (160 / 8));
+}
+
+TEST(AnalyticModel, SpeedupPositiveWhenMigrationDominates) {
+  EXPECT_TRUE(base_params().migration_dominates());
+  EXPECT_GT(predicted_speedup_lower_bound(base_params()), 0.0);
+}
+
+TEST(AnalyticModel, NoGuaranteedWinWhenMigrationIsCheap) {
+  ModelParams p = base_params();
+  p.strip_migration = Time::us(10);  // M < P
+  EXPECT_FALSE(p.migration_dominates());
+  EXPECT_LT(min_gap(p), Time::zero());
+}
+
+TEST(AnalyticModel, Equation7RequestRateCap) {
+  // 3 Gb/s client, 1 MiB requests: at most ~357 requests/s.
+  const double cap = max_requests_per_second(
+      1ull << 20, Bandwidth::gbit(3.0).bytes_per_second());
+  EXPECT_NEAR(cap, 357.6, 0.5);
+}
+
+TEST(AnalyticModel, ParamsFromSystemDerivesMbiggerThanP) {
+  const auto p = params_from_system(
+      /*strip=*/64ull << 10, /*line=*/64, /*c2c=*/Cycles{500},
+      /*hit=*/Cycles{15}, /*per_packet=*/Cycles{3000},
+      /*per_byte_centi=*/40, Frequency::ghz(2.7), 8, 16, 10, 1, Time::ms(1));
+  EXPECT_TRUE(p.migration_dominates());
+  // M = 1024 lines * 500 cycles at 2.7 GHz ~= 190 us.
+  EXPECT_NEAR(p.strip_migration.microseconds(), 189.6, 1.0);
+  // P = 3000 + 65536*0.4 + 1024*15 cycles ~= 16.8 us.
+  EXPECT_NEAR(p.strip_processing.microseconds(), 16.5, 1.0);
+}
+
+// ---- Property sweeps of the paper's trends -----------------------------
+
+using GapSweep = ::testing::TestWithParam<std::tuple<int, i64>>;
+
+TEST_P(GapSweep, GapGrowsWithServersAndRequests) {
+  const auto [servers, requests] = GetParam();
+  ModelParams p = base_params();
+  p.num_servers = servers;
+  p.num_requests = requests;
+  const Time gap = min_gap(p);
+
+  ModelParams more_servers = p;
+  more_servers.num_servers = servers * 2;
+  EXPECT_GT(min_gap(more_servers), gap);
+
+  ModelParams more_requests = p;
+  more_requests.num_requests = requests * 2;
+  EXPECT_GT(min_gap(more_requests), gap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GapSweep,
+                         ::testing::Combine(::testing::Values(8, 16, 32, 48),
+                                            ::testing::Values<i64>(1, 10,
+                                                                   100)));
+
+using MonotonicitySweep = ::testing::TestWithParam<int>;
+
+TEST_P(MonotonicitySweep, SourceAwareTimeLinearInServers) {
+  const int servers = GetParam();
+  ModelParams p = base_params();
+  p.num_servers = servers;
+  const Time t1 = t_source_aware(p);
+  p.num_servers = servers * 2;
+  const Time t2 = t_source_aware(p);
+  // Doubling NS doubles the variable part exactly.
+  EXPECT_EQ(t2 - p.rest, (t1 - p.rest) * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, MonotonicitySweep,
+                         ::testing::Values(8, 16, 24, 32, 48));
+
+}  // namespace
+}  // namespace saisim::analysis

@@ -1,0 +1,90 @@
+#include "apic/irq_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saisim::apic {
+namespace {
+
+constexpr Frequency kFreq = Frequency::ghz(1.0);
+
+struct TraceFixture : ::testing::Test {
+  sim::Simulation s;
+  cpu::CpuSystem cpus{s, 4, kFreq};
+
+  InterruptMessage msg(CoreId hint, RequestId req) {
+    InterruptMessage m;
+    m.aff_core_id = hint;
+    m.request = req;
+    m.softirq_cost = [](CoreId, Time) { return Cycles{100}; };
+    return m;
+  }
+};
+
+TEST_F(TraceFixture, RecordsEveryRoutingDecision) {
+  IoApic apic(s, cpus, std::make_unique<SourceAwarePolicy>());
+  IrqTrace trace;
+  trace.attach(apic);
+  for (int i = 0; i < 5; ++i) apic.raise(msg(1, 7));
+  s.run();
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.per_core().at(1), 5u);
+  EXPECT_DOUBLE_EQ(trace.hinted_fraction(), 1.0);
+}
+
+TEST_F(TraceFixture, PeerLocalityPerfectUnderSourceAware) {
+  IoApic apic(s, cpus, std::make_unique<SourceAwarePolicy>());
+  IrqTrace trace;
+  trace.attach(apic);
+  // Three requests, each with 4 peer interrupts hinted at its own core.
+  for (RequestId r = 0; r < 3; ++r)
+    for (int i = 0; i < 4; ++i) apic.raise(msg(static_cast<CoreId>(r), r));
+  s.run();
+  EXPECT_DOUBLE_EQ(trace.peer_locality(), 1.0);
+}
+
+TEST_F(TraceFixture, PeerLocalityScatteredUnderRoundRobin) {
+  IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>());
+  IrqTrace trace;
+  trace.attach(apic);
+  // One request, 8 peer interrupts spread over 4 cores round-robin.
+  for (int i = 0; i < 8; ++i) apic.raise(msg(kNoCore, 1));
+  s.run();
+  // Modal core holds 2 of 8 interrupts.
+  EXPECT_DOUBLE_EQ(trace.peer_locality(), 0.25);
+  EXPECT_DOUBLE_EQ(trace.hinted_fraction(), 0.0);
+}
+
+TEST_F(TraceFixture, SingleInterruptRequestsDoNotSkewLocality) {
+  IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>());
+  IrqTrace trace;
+  trace.attach(apic);
+  // Many single-interrupt requests (trivially "local") plus one scattered
+  // request: only the scattered one counts.
+  for (RequestId r = 10; r < 20; ++r) apic.raise(msg(kNoCore, r));
+  for (int i = 0; i < 4; ++i) apic.raise(msg(kNoCore, 1));
+  s.run();
+  EXPECT_DOUBLE_EQ(trace.peer_locality(), 0.25);
+}
+
+TEST_F(TraceFixture, EmptyTraceIsNeutral) {
+  IrqTrace trace;
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_DOUBLE_EQ(trace.peer_locality(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.hinted_fraction(), 0.0);
+}
+
+TEST_F(TraceFixture, ActivityTableBucketsByWindow) {
+  IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>(),
+              /*delivery_latency=*/Time::ns(1));
+  IrqTrace trace;
+  trace.attach(apic);
+  apic.raise(msg(kNoCore, 1));
+  s.after(Time::ms(3), [&] { apic.raise(msg(kNoCore, 2)); });
+  s.run();
+  const auto t = trace.activity_table(Time::ms(1), 4);
+  EXPECT_EQ(t.rows(), 2u);  // two distinct 1 ms windows
+  EXPECT_EQ(t.cols(), 5u);  // window + 4 cores
+}
+
+}  // namespace
+}  // namespace saisim::apic

@@ -1,0 +1,89 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saisim {
+namespace {
+
+/// Small but complete cluster run: 4 servers, 2 IOR processes reading 4 MiB
+/// each with 1 MiB transfers.
+ExperimentConfig small_config(PolicyKind policy) {
+  ExperimentConfig cfg;
+  cfg.num_servers = 4;
+  cfg.policy = policy;
+  cfg.procs_per_client = 2;
+  cfg.ior.transfer_size = 1ull << 20;
+  cfg.ior.total_bytes = 4ull << 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Experiment, CompletesAndReportsSaneMetrics) {
+  const RunMetrics m = run_experiment(small_config(PolicyKind::kIrqbalance));
+  EXPECT_EQ(m.total_bytes, 8ull << 20);
+  EXPECT_GT(m.elapsed, Time::zero());
+  EXPECT_GT(m.bandwidth_mbps, 1.0);
+  EXPECT_GT(m.l2_miss_rate, 0.0);
+  EXPECT_LT(m.l2_miss_rate, 1.0);
+  EXPECT_GT(m.cpu_utilization, 0.0);
+  EXPECT_LT(m.cpu_utilization, 1.0);
+  EXPECT_GT(m.unhalted_cycles, 0.0);
+  EXPECT_GT(m.interrupts, 0u);
+  EXPECT_EQ(m.rx_drops, 0u);
+  EXPECT_EQ(m.retransmits, 0u);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const RunMetrics a = run_experiment(small_config(PolicyKind::kSourceAware));
+  const RunMetrics b = run_experiment(small_config(PolicyKind::kSourceAware));
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_DOUBLE_EQ(a.bandwidth_mbps, b.bandwidth_mbps);
+  EXPECT_DOUBLE_EQ(a.l2_miss_rate, b.l2_miss_rate);
+  EXPECT_DOUBLE_EQ(a.unhalted_cycles, b.unhalted_cycles);
+  EXPECT_EQ(a.c2c_transfers, b.c2c_transfers);
+}
+
+TEST(Experiment, SourceAwareRoutesByHint) {
+  const RunMetrics m = run_experiment(small_config(PolicyKind::kSourceAware));
+  // Every NIC data interrupt should have been routed by its hint.
+  EXPECT_GT(m.hinted_interrupt_share_x1e4, 9'000u);
+}
+
+TEST(Experiment, BaselineCarriesNoHints) {
+  const RunMetrics m = run_experiment(small_config(PolicyKind::kIrqbalance));
+  EXPECT_EQ(m.hinted_interrupt_share_x1e4, 0u);
+}
+
+TEST(Experiment, SourceAwareReducesCacheToCacheTraffic) {
+  const RunMetrics base = run_experiment(small_config(PolicyKind::kIrqbalance));
+  const RunMetrics sais = run_experiment(small_config(PolicyKind::kSourceAware));
+  EXPECT_LT(sais.c2c_transfers, base.c2c_transfers / 2);
+}
+
+TEST(Experiment, SourceAwareLowersMissRate) {
+  const RunMetrics base = run_experiment(small_config(PolicyKind::kIrqbalance));
+  const RunMetrics sais = run_experiment(small_config(PolicyKind::kSourceAware));
+  EXPECT_LT(sais.l2_miss_rate, base.l2_miss_rate);
+}
+
+TEST(Experiment, ComparisonComputesSpeedup) {
+  const Comparison c = compare_policies(small_config(PolicyKind::kIrqbalance));
+  EXPECT_GT(c.sais.bandwidth_mbps, 0.0);
+  EXPECT_GT(c.baseline.bandwidth_mbps, 0.0);
+  const double expect_pct = (c.sais.bandwidth_mbps - c.baseline.bandwidth_mbps) /
+                            c.baseline.bandwidth_mbps * 100.0;
+  EXPECT_NEAR(c.bandwidth_speedup_pct, expect_pct, 1e-9);
+}
+
+TEST(Experiment, MultiClientRunAggregatesPerClient) {
+  ExperimentConfig cfg = small_config(PolicyKind::kSourceAware);
+  cfg.num_clients = 2;
+  const RunMetrics m = run_experiment(cfg);
+  EXPECT_EQ(m.per_client_bandwidth_mbps.size(), 2u);
+  EXPECT_GT(m.per_client_bandwidth_mbps[0], 0.0);
+  EXPECT_GT(m.per_client_bandwidth_mbps[1], 0.0);
+  EXPECT_EQ(m.total_bytes, 16ull << 20);
+}
+
+}  // namespace
+}  // namespace saisim

@@ -1,0 +1,105 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+
+namespace saisim::mem {
+namespace {
+
+CacheConfig tiny_cache() {
+  // 4 sets x 2 ways x 64B lines = 512 B.
+  return CacheConfig{.capacity_bytes = 512, .line_bytes = 64, .ways = 2};
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny_cache());
+  const LineAddr line = c.line_of(0x1000);
+  EXPECT_FALSE(c.probe(line));
+  EXPECT_FALSE(c.insert(line, false).has_value());
+  EXPECT_TRUE(c.probe(line));
+  EXPECT_EQ(c.resident_lines(), 1u);
+}
+
+TEST(Cache, LineOfStripsOffsetBits) {
+  Cache c(tiny_cache());
+  EXPECT_EQ(c.line_of(0), c.line_of(63));
+  EXPECT_NE(c.line_of(63), c.line_of(64));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(tiny_cache());
+  // Three lines mapping to the same set (4 sets => stride 4 lines).
+  const LineAddr a = 0, b = 4, d = 8;
+  c.insert(a, false);
+  c.insert(b, false);
+  EXPECT_TRUE(c.probe(a));  // a is now MRU; b is LRU
+  const auto ev = c.insert(d, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, b);
+  EXPECT_TRUE(c.contains(a));
+  EXPECT_FALSE(c.contains(b));
+}
+
+TEST(Cache, EvictionReportsDirtiness) {
+  Cache c(tiny_cache());
+  c.insert(0, true);
+  c.insert(4, false);
+  const auto ev = c.insert(8, false);  // evicts LRU == line 0 (dirty)
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 0u);
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, MarkDirtySticks) {
+  Cache c(tiny_cache());
+  c.insert(3, false);
+  EXPECT_FALSE(c.is_dirty(3));
+  c.mark_dirty(3);
+  EXPECT_TRUE(c.is_dirty(3));
+}
+
+TEST(Cache, InvalidateRemovesAndReportsDirty) {
+  Cache c(tiny_cache());
+  c.insert(5, true);
+  const auto inv = c.invalidate(5);
+  EXPECT_TRUE(inv.was_present);
+  EXPECT_TRUE(inv.was_dirty);
+  EXPECT_FALSE(c.contains(5));
+  EXPECT_EQ(c.resident_lines(), 0u);
+  const auto inv2 = c.invalidate(5);
+  EXPECT_FALSE(inv2.was_present);
+}
+
+TEST(Cache, DoubleInsertAborts) {
+  Cache c(tiny_cache());
+  c.insert(1, false);
+  EXPECT_DEATH(c.insert(1, false), "double insert");
+}
+
+TEST(Cache, CapacityIsRespected) {
+  Cache c(tiny_cache());
+  for (LineAddr l = 0; l < 100; ++l) (void)c.insert(l, false);
+  EXPECT_EQ(c.resident_lines(), tiny_cache().num_lines());
+}
+
+TEST(Cache, ConfigDerivedQuantities) {
+  const CacheConfig paper{.capacity_bytes = 512ull << 10, .line_bytes = 64,
+                          .ways = 16};
+  EXPECT_EQ(paper.num_lines(), 8192u);
+  EXPECT_EQ(paper.num_sets(), 512u);
+}
+
+TEST(AddressSpace, DisjointLineAlignedRanges) {
+  AddressSpace as(64);
+  const auto a = as.allocate(100);
+  const auto b = as.allocate(10);
+  EXPECT_EQ(a.base, 0u);
+  EXPECT_EQ(b.base, 128u);  // 100 rounded up to two lines
+  EXPECT_FALSE(a.contains(b.base));
+  EXPECT_TRUE(a.contains(99));
+  EXPECT_FALSE(a.contains(100));
+}
+
+}  // namespace
+}  // namespace saisim::mem

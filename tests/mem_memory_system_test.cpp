@@ -1,0 +1,171 @@
+#include "mem/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saisim::mem {
+namespace {
+
+constexpr Frequency kFreq = Frequency::ghz(1.0);  // 1 cycle == 1 ns
+
+MemorySystem make_ms(int cores = 2, Bandwidth dram = Bandwidth::unlimited()) {
+  const CacheConfig cfg{.capacity_bytes = 8192, .line_bytes = 64, .ways = 2};
+  const MemoryTimings t{.l2_hit = Cycles{10},
+                        .dram_access = Cycles{100},
+                        .c2c_transfer = Cycles{400}};
+  return MemorySystem(cores, cfg, t, kFreq, dram);
+}
+
+TEST(MemorySystem, ColdReadMissesToDram) {
+  auto ms = make_ms();
+  const Time cost = ms.access(0, 0, 64, MemorySystem::AccessType::kRead,
+                              Time::zero());
+  EXPECT_EQ(cost, Time::ns(100));
+  EXPECT_EQ(ms.core_stats(0).misses_dram, 1u);
+  EXPECT_EQ(ms.core_stats(0).accesses, 1u);
+}
+
+TEST(MemorySystem, SecondReadHits) {
+  auto ms = make_ms();
+  ms.access(0, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  const Time cost =
+      ms.access(0, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  EXPECT_EQ(cost, Time::ns(10));
+  EXPECT_EQ(ms.core_stats(0).hits, 1u);
+}
+
+TEST(MemorySystem, CrossCoreAccessPaysCacheToCacheTransfer) {
+  auto ms = make_ms();
+  ms.access(0, 0, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  const Time cost =
+      ms.access(1, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  EXPECT_EQ(cost, Time::ns(400));
+  EXPECT_EQ(ms.core_stats(1).misses_c2c, 1u);
+  EXPECT_EQ(ms.c2c_transfers(), 1u);
+  // Ownership migrated: core 1 now hits, core 0 misses.
+  EXPECT_TRUE(ms.resident(1, 0, 64));
+  EXPECT_FALSE(ms.resident(0, 0, 64));
+}
+
+TEST(MemorySystem, MigrationIsMoreExpensiveThanProcessingPremise) {
+  // The paper's M >> P premise must hold under default timings.
+  const MemoryTimings def{};
+  EXPECT_GT(def.c2c_transfer.count(), 2 * def.dram_access.count() / 2);
+  EXPECT_GT(def.c2c_transfer.count(), 10 * def.l2_hit.count());
+}
+
+TEST(MemorySystem, MultiLineAccessCountsEachLine) {
+  auto ms = make_ms();
+  const Time cost = ms.access(0, 0, 64 * 8, MemorySystem::AccessType::kRead,
+                              Time::zero());
+  EXPECT_EQ(ms.core_stats(0).accesses, 8u);
+  EXPECT_EQ(ms.core_stats(0).misses_dram, 8u);
+  EXPECT_EQ(cost, Time::ns(800));
+}
+
+TEST(MemorySystem, UnalignedRangeTouchesStraddledLines) {
+  auto ms = make_ms();
+  ms.access(0, 60, 8, MemorySystem::AccessType::kRead, Time::zero());
+  EXPECT_EQ(ms.core_stats(0).accesses, 2u);
+}
+
+TEST(MemorySystem, DmaInvalidatesCachedCopies) {
+  auto ms = make_ms();
+  ms.access(0, 0, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  EXPECT_TRUE(ms.resident(0, 0, 64));
+  ms.dma_write(0, 64, Time::zero());
+  EXPECT_FALSE(ms.resident(0, 0, 64));
+  // Next access misses to DRAM, not c2c.
+  ms.access(1, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  EXPECT_EQ(ms.core_stats(1).misses_c2c, 0u);
+  EXPECT_EQ(ms.core_stats(1).misses_dram, 1u);
+}
+
+TEST(MemorySystem, DirtyEvictionWritesBack) {
+  auto ms = make_ms();
+  // Cache: 64 sets... tiny config here: 8192/64/2 = 64 sets, 2 ways.
+  // Fill one set (stride = 64 lines) with dirty lines, then overflow it.
+  const u64 stride = 64 * 64;  // set count * line size
+  ms.access(0, 0 * stride, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  ms.access(0, 1 * stride, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  ms.access(0, 2 * stride, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  EXPECT_EQ(ms.core_stats(0).evictions, 1u);
+  EXPECT_EQ(ms.core_stats(0).writebacks, 1u);
+  EXPECT_EQ(ms.dram_line_writes(), 1u);
+}
+
+TEST(MemorySystem, EvictedLineCanBeReloaded) {
+  auto ms = make_ms();
+  const u64 stride = 64 * 64;
+  ms.access(0, 0 * stride, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  ms.access(0, 1 * stride, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  ms.access(0, 2 * stride, 64, MemorySystem::AccessType::kWrite, Time::zero());
+  // Line 0 was evicted; reloading it must be a DRAM miss, not a c2c hit on a
+  // stale owner entry.
+  ms.access(0, 0 * stride, 64, MemorySystem::AccessType::kRead, Time::zero());
+  EXPECT_EQ(ms.core_stats(0).misses_c2c, 0u);
+  EXPECT_EQ(ms.core_stats(0).misses_dram, 4u);
+}
+
+TEST(MemorySystem, DramBandwidthWithinBurstAllowanceIsFree) {
+  auto ms = make_ms(2, Bandwidth::mb_per_sec(64));
+  // A single line is far below the burst allowance: latency only.
+  const Time c1 =
+      ms.access(0, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  EXPECT_EQ(c1, Time::ns(100));
+  // Busy accounting still records the serialization.
+  EXPECT_EQ(ms.dram_busy_time(), Time::us(1));
+}
+
+TEST(MemorySystem, DramOversubscriptionQueues) {
+  // 64 B/us controller, 256 KiB allowance: a 512 KiB DMA burst must pay
+  // queueing for the half beyond the allowance.
+  auto ms = make_ms(2, Bandwidth::mb_per_sec(64));
+  const Time d = ms.dma_write(1ull << 30, 512ull << 10, Time::zero());
+  const Time expected = Bandwidth::mb_per_sec(64).transfer_time(256ull << 10);
+  EXPECT_EQ(d, expected);
+}
+
+TEST(MemorySystem, DramBacklogDrainsOverTime) {
+  auto ms = make_ms(2, Bandwidth::mb_per_sec(64));
+  (void)ms.dma_write(1ull << 30, 512ull << 10, Time::zero());
+  // After enough wall time the backlog has fully drained; a new small
+  // access pays no queueing.
+  const Time later = Time::sec(1);
+  const Time c =
+      ms.access(0, 0, 64, MemorySystem::AccessType::kRead, later);
+  EXPECT_EQ(c, Time::ns(100));
+}
+
+TEST(MemorySystem, WriteMarksLineDirtyForLaterWriteback) {
+  auto ms = make_ms();
+  ms.access(0, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  ms.access(0, 0, 64, MemorySystem::AccessType::kWrite, Time::zero());  // hit
+  const u64 stride = 64 * 64;
+  ms.access(0, stride, 64, MemorySystem::AccessType::kRead, Time::zero());
+  ms.access(0, 2 * stride, 64, MemorySystem::AccessType::kRead, Time::zero());
+  // Eviction of line 0 (dirty via the write hit) must write back.
+  EXPECT_EQ(ms.core_stats(0).writebacks, 1u);
+}
+
+TEST(MemorySystem, TotalStatsAggregateAcrossCores) {
+  auto ms = make_ms();
+  ms.access(0, 0, 64, MemorySystem::AccessType::kRead, Time::zero());
+  ms.access(1, 4096, 64, MemorySystem::AccessType::kRead, Time::zero());
+  const auto total = ms.total_stats();
+  EXPECT_EQ(total.accesses, 2u);
+  EXPECT_EQ(total.misses_dram, 2u);
+  EXPECT_DOUBLE_EQ(total.miss_rate(), 1.0);
+}
+
+TEST(MemorySystem, MissRateDefinitionMatchesPaper) {
+  // miss rate = #misses / #accesses.
+  CoreCacheStats s;
+  s.accesses = 100;
+  s.misses_dram = 10;
+  s.misses_c2c = 15;
+  s.hits = 75;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace saisim::mem

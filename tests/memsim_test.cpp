@@ -1,0 +1,87 @@
+// Tests of the §VI memory-simulation model.
+#include "memsim/memsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saisim::memsim {
+namespace {
+
+MemsimConfig quick(int pairs, bool sa) {
+  MemsimConfig cfg;
+  cfg.num_pairs = pairs;
+  cfg.source_aware = sa;
+  cfg.bytes_per_pair = 8ull << 20;
+  cfg.warmup = Time::ms(2);
+  cfg.duration = Time::ms(12);
+  return cfg;
+}
+
+TEST(Memsim, ProducesSteadyStateThroughput) {
+  const MemsimResult r = run_memsim(quick(2, true));
+  EXPECT_GT(r.bandwidth_mbps, 100.0);
+  EXPECT_GT(r.total_bytes, 0u);
+  EXPECT_EQ(r.elapsed, Time::ms(10));
+  EXPECT_GT(r.cpu_utilization, 0.0);
+  EXPECT_LE(r.cpu_utilization, 1.0);
+}
+
+TEST(Memsim, DeterministicForSameConfig) {
+  const MemsimResult a = run_memsim(quick(3, true));
+  const MemsimResult b = run_memsim(quick(3, true));
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_DOUBLE_EQ(a.l2_miss_rate, b.l2_miss_rate);
+}
+
+TEST(Memsim, SourceAwarePairHasNoCacheToCacheTraffic) {
+  const MemsimResult r = run_memsim(quick(2, true));
+  EXPECT_EQ(r.c2c_transfers, 0u);
+}
+
+TEST(Memsim, SourceAwareBeatsSplitPlacement) {
+  const MemsimComparison c = compare_memsim(quick(4, true));
+  EXPECT_GT(c.bandwidth_speedup_pct, 0.0);
+  EXPECT_GT(c.miss_rate_reduction_pct, 0.0);
+  EXPECT_LT(c.sais.l2_miss_rate, c.irqbalance.l2_miss_rate);
+}
+
+TEST(Memsim, SplitPlacementUsesIpcSegment) {
+  // The IPC copies raise the Irqbalance variant's per-byte work.
+  MemsimConfig with_ipc = quick(2, false);
+  const MemsimResult ipc = run_memsim(with_ipc);
+  MemsimConfig no_ipc = with_ipc;
+  no_ipc.ipc_copy_between_processes = false;
+  const MemsimResult no_ipc_r = run_memsim(no_ipc);
+  EXPECT_GT(no_ipc_r.bandwidth_mbps, ipc.bandwidth_mbps);
+}
+
+TEST(Memsim, BandwidthScalesWithPairsUntilSaturation) {
+  const double bw2 = run_memsim(quick(2, true)).bandwidth_mbps;
+  const double bw4 = run_memsim(quick(4, true)).bandwidth_mbps;
+  const double bw8 = run_memsim(quick(8, true)).bandwidth_mbps;
+  EXPECT_GT(bw4, bw2 * 1.5);
+  EXPECT_GT(bw8, bw4 * 1.2);
+}
+
+TEST(Memsim, ConvergenceTrendBeyondCoreCount) {
+  // The paper's Fig. 14: the SAIs advantage shrinks once apps >= cores.
+  const MemsimComparison at_peak = compare_memsim(quick(7, true));
+  const MemsimComparison saturated = compare_memsim(quick(16, true));
+  EXPECT_LT(saturated.bandwidth_speedup_pct,
+            at_peak.bandwidth_speedup_pct);
+}
+
+TEST(Memsim, UtilizationSaturatesWithManyPairs) {
+  const MemsimResult r = run_memsim(quick(16, true));
+  EXPECT_GT(r.cpu_utilization, 0.95);
+}
+
+TEST(Memsim, RamDiskBandwidthCapsThroughput) {
+  MemsimConfig cfg = quick(8, true);
+  cfg.ram_disk_bandwidth = Bandwidth::mb_per_sec(200);
+  const MemsimResult r = run_memsim(cfg);
+  // Useful throughput cannot exceed the RAM-disk rate.
+  EXPECT_LT(r.bandwidth_mbps, 220.0);
+}
+
+}  // namespace
+}  // namespace saisim::memsim

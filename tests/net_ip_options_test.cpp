@@ -1,0 +1,76 @@
+#include "net/ip_options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace saisim::net {
+namespace {
+
+TEST(IpOptions, EncodesPaperBitLayout) {
+  // Figure 4: copied=1, class=01, number=aff_core_id, EOL-terminated.
+  const auto enc = IpOptions::encode(5);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ((*enc)[0], 0xA5);  // 1 01 00101
+  EXPECT_EQ((*enc)[1], 0x00);
+  EXPECT_EQ((*enc)[2], 0x00);
+  EXPECT_EQ((*enc)[3], 0x00);
+}
+
+TEST(IpOptions, RoundTripsAllEncodableCores) {
+  for (CoreId c = 0; c <= IpOptions::kMaxEncodableCore; ++c) {
+    const auto enc = IpOptions::encode(c);
+    ASSERT_TRUE(enc.has_value()) << c;
+    const auto dec = IpOptions::parse(*enc);
+    ASSERT_TRUE(dec.has_value()) << c;
+    EXPECT_EQ(*dec, c);
+  }
+}
+
+TEST(IpOptions, RejectsCoresBeyondFiveBits) {
+  // The 5-bit option-number field caps SAIs at 32 identifiable cores.
+  EXPECT_FALSE(IpOptions::encode(32).has_value());
+  EXPECT_FALSE(IpOptions::encode(100).has_value());
+  EXPECT_FALSE(IpOptions::encode(-1).has_value());
+}
+
+TEST(IpOptions, ParseRejectsWrongPrefix) {
+  // copied=0 or a different option class is not a SAIs hint.
+  const std::array<u8, 4> wrong_copied{0x25, 0, 0, 0};
+  EXPECT_FALSE(IpOptions::parse(wrong_copied).has_value());
+  const std::array<u8, 4> wrong_class{0xC5, 0, 0, 0};
+  EXPECT_FALSE(IpOptions::parse(wrong_class).has_value());
+}
+
+TEST(IpOptions, ParseRejectsMissingEolTermination) {
+  const std::array<u8, 4> garbage_tail{0xA5, 0x07, 0, 0};
+  EXPECT_FALSE(IpOptions::parse(garbage_tail).has_value());
+}
+
+TEST(IpOptions, ParseRejectsEmpty) {
+  EXPECT_FALSE(IpOptions::parse({}).has_value());
+}
+
+TEST(Packet, WireBytesIncludesPerFrameOverhead) {
+  Packet p;
+  p.payload_bytes = Packet::kMtuPayload;  // exactly one frame
+  EXPECT_EQ(p.wire_bytes(), Packet::kMtuPayload + Packet::kFrameOverhead);
+  p.payload_bytes = Packet::kMtuPayload + 1;  // two frames
+  EXPECT_EQ(p.wire_bytes(),
+            Packet::kMtuPayload + 1 + 2 * Packet::kFrameOverhead);
+}
+
+TEST(Packet, StripSizedMessageFragmentsCorrectly) {
+  Packet p;
+  p.payload_bytes = 64ull << 10;  // 65536 / 1448 = 45.26 -> 46 frames
+  EXPECT_EQ(p.wire_bytes(), (64ull << 10) + 46 * Packet::kFrameOverhead);
+}
+
+TEST(Packet, EmptyPayloadStillCostsOneFrame) {
+  Packet p;
+  p.payload_bytes = 0;
+  EXPECT_EQ(p.wire_bytes(), Packet::kFrameOverhead);
+}
+
+}  // namespace
+}  // namespace saisim::net

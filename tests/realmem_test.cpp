@@ -1,0 +1,67 @@
+// Correctness tests of the real-thread memory harness (timings are
+// hardware-dependent and deliberately not asserted).
+#include "realmem/real_memsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saisim::realmem {
+namespace {
+
+RealMemConfig small() {
+  RealMemConfig cfg;
+  cfg.num_pairs = 2;
+  cfg.bytes_per_pair = 8ull << 20;
+  cfg.ram_disk_bytes = 4ull << 20;
+  cfg.transfer_size = 256ull << 10;
+  cfg.strip_size = 64ull << 10;
+  return cfg;
+}
+
+TEST(RealMem, PipelineMovesAllBytes) {
+  const RealMemResult r = run_real_memsim(small());
+  EXPECT_EQ(r.total_bytes, 16ull << 20);
+  EXPECT_GT(r.bandwidth_mbps, 0.0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(RealMem, ChecksumMatchesSingleThreadedReference) {
+  const RealMemConfig cfg = small();
+  const RealMemResult r = run_real_memsim(cfg);
+  EXPECT_EQ(r.checksum, expected_checksum(cfg));
+}
+
+TEST(RealMem, ChecksumStableAcrossPlacements) {
+  RealMemConfig cfg = small();
+  cfg.pin_same_core = true;
+  const u64 a = run_real_memsim(cfg).checksum;
+  cfg.pin_same_core = false;
+  const u64 b = run_real_memsim(cfg).checksum;
+  cfg.enable_pinning = false;
+  const u64 c = run_real_memsim(cfg).checksum;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(RealMem, SinglePairWorks) {
+  RealMemConfig cfg = small();
+  cfg.num_pairs = 1;
+  const RealMemResult r = run_real_memsim(cfg);
+  EXPECT_EQ(r.total_bytes, 8ull << 20);
+  EXPECT_EQ(r.checksum, expected_checksum(cfg));
+}
+
+TEST(RealMem, WrapAroundSourceRegionIsCorrect) {
+  RealMemConfig cfg = small();
+  cfg.bytes_per_pair = 12ull << 20;  // 3x the 4 MiB source region
+  const RealMemResult r = run_real_memsim(cfg);
+  EXPECT_EQ(r.checksum, expected_checksum(cfg));
+}
+
+TEST(RealMem, PartialTailTransferRejected) {
+  RealMemConfig cfg = small();
+  cfg.bytes_per_pair = cfg.transfer_size * 3 + 1024;  // not a multiple
+  EXPECT_DEATH((void)run_real_memsim(cfg), "");
+}
+
+}  // namespace
+}  // namespace saisim::realmem

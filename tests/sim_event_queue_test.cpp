@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace saisim::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::us(3), [&] { order.push_back(3); });
+  q.schedule(Time::us(1), [&] { order.push_back(1); });
+  q.schedule(Time::us(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(Time::us(5), [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<u64>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(Time::us(1), [&] { ++fired; });
+  q.schedule(Time::us(2), [&] { ++fired; });
+  q.cancel(h);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledEventDoesNotBlockNextTime) {
+  EventQueue q;
+  auto h = q.schedule(Time::us(1), [] {});
+  q.schedule(Time::us(7), [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), Time::us(7));
+}
+
+TEST(EventQueue, SchedulingIntoThePastAborts) {
+  EventQueue q;
+  q.schedule(Time::us(10), [] {});
+  (void)q.pop();
+  EXPECT_DEATH(q.schedule(Time::us(5), [] {}), "scheduled into the past");
+}
+
+TEST(EventQueue, DoubleCancelAborts) {
+  EventQueue q;
+  auto h = q.schedule(Time::us(1), [] {});
+  q.cancel(h);
+  EXPECT_DEATH(q.cancel(h), "double-cancel");
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  auto a = q.schedule(Time::us(1), [] {});
+  q.schedule(Time::us(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedCancellations) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(q.schedule(Time::us(i), [&] { ++fired; }));
+  for (u64 i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 50);
+}
+
+}  // namespace
+}  // namespace saisim::sim

@@ -1,0 +1,108 @@
+// Reference-model fuzzing of the event queue: random schedule/cancel/pop
+// sequences mirrored against a std::multimap oracle. Ordering (time, then
+// insertion sequence) and cancellation semantics must agree exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace saisim::sim {
+namespace {
+
+TEST(SimFuzz, MatchesMultimapReferenceModel) {
+  EventQueue q;
+  Rng rng(31337);
+
+  struct RefEvent {
+    u64 id;
+    EventHandle handle;
+  };
+  // Oracle: ordered by (time, id) — the insertion id doubles as the
+  // deterministic tie-break, exactly the contract EventQueue promises.
+  std::map<std::pair<i64, u64>, RefEvent> reference;
+  u64 next_id = 0;
+  i64 now_ps = 0;
+  u64 fired_id = 0;
+  bool fired = false;
+
+  for (int step = 0; step < 30'000; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.55) {
+      // Schedule at a random future time.
+      const i64 when = now_ps + static_cast<i64>(rng.below(10'000));
+      const u64 id = next_id++;
+      auto h = q.schedule(Time::ps(when), [&fired_id, &fired, id] {
+        fired_id = id;
+        fired = true;
+      });
+      reference.emplace(std::make_pair(when, id), RefEvent{id, h});
+    } else if (action < 0.70) {
+      // Cancel a random live event.
+      if (reference.empty()) continue;
+      auto it = reference.begin();
+      std::advance(it, static_cast<i64>(rng.below(reference.size())));
+      q.cancel(it->second.handle);
+      reference.erase(it);
+    } else {
+      // Pop: must match the oracle's front.
+      if (reference.empty()) {
+        EXPECT_TRUE(q.empty());
+        continue;
+      }
+      auto expected = reference.begin();
+      EXPECT_EQ(q.next_time(), Time::ps(expected->first.first));
+      fired = false;
+      auto ev = q.pop();
+      ev.fn();
+      ASSERT_TRUE(fired);
+      EXPECT_EQ(fired_id, expected->second.id);
+      EXPECT_EQ(ev.when, Time::ps(expected->first.first));
+      now_ps = expected->first.first;
+      reference.erase(expected);
+    }
+    EXPECT_EQ(q.size(), reference.size());
+  }
+
+  // Drain and verify the tail ordering too.
+  while (!reference.empty()) {
+    auto expected = reference.begin();
+    fired = false;
+    q.pop().fn();
+    ASSERT_TRUE(fired);
+    EXPECT_EQ(fired_id, expected->second.id);
+    reference.erase(expected);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SimFuzz, HeavyCancellationStress) {
+  // Rounds of: schedule a burst, cancel a random 60% immediately, drain
+  // the remainder before the next burst. Firing counts must balance.
+  EventQueue q;
+  Rng rng(4242);
+  u64 fired = 0;
+  u64 scheduled = 0, cancelled = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<EventHandle> burst;
+    for (int i = 0; i < 50; ++i) {
+      burst.push_back(
+          q.schedule(Time::us(round * 1000 + static_cast<i64>(rng.below(100))),
+                     [&fired] { ++fired; }));
+      ++scheduled;
+    }
+    for (EventHandle h : burst) {
+      if (rng.chance(0.6)) {
+        q.cancel(h);
+        ++cancelled;
+      }
+    }
+    while (!q.empty()) q.pop().fn();
+  }
+  EXPECT_EQ(fired, scheduled - cancelled);
+  EXPECT_GT(cancelled, 5000u);
+}
+
+}  // namespace
+}  // namespace saisim::sim

@@ -1,0 +1,68 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace saisim {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> rb(4);
+  ASSERT_TRUE(rb.push(1));
+  ASSERT_TRUE(rb.push(2));
+  ASSERT_TRUE(rb.push(3));
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), std::nullopt);
+}
+
+TEST(RingBuffer, RejectsWhenFull) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(3));  // overrun dropped, like a NIC RX ring
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 4);
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  RingBuffer<u64> rb(3);
+  u64 next_in = 0, next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!rb.full()) ASSERT_TRUE(rb.push(next_in++));
+    while (!rb.empty()) EXPECT_EQ(rb.pop(), next_out++);
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuffer, FrontPeeksWithoutPopping) {
+  RingBuffer<std::string> rb(2);
+  ASSERT_TRUE(rb.push("a"));
+  ASSERT_TRUE(rb.push("b"));
+  EXPECT_EQ(rb.front(), "a");
+  EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, MoveOnlyTypes) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  ASSERT_TRUE(rb.push(std::make_unique<int>(5)));
+  auto out = rb.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+}  // namespace
+}  // namespace saisim
