@@ -6,8 +6,29 @@
 
 using namespace saisim;
 
+namespace {
+
+const sweep::SweepResult& results() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-migration-cost",
+                          bench::figure_config(3.0, 16, 1ull << 20));
+    spec.axis("c2c_cycles",
+              std::vector<i64>{15, 100, 250, 500, 1000, 2000},
+              [](i64 c) { return std::to_string(c); },
+              [](ExperimentConfig& cfg, i64 c) {
+                cfg.client.timings.c2c_transfer = Cycles{c};
+              })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&results()})) return 0;
 
   bench::print_figure_header(
       "Ablation — migration cost sweep (M vs P)",
@@ -18,16 +39,13 @@ int main(int argc, char** argv) {
   stats::Table t({"c2c_cycles", "bw_irqbalance_MB/s", "bw_sais_MB/s",
                   "speedup_%", "miss_reduction_%"});
   std::vector<double> speedups;
-  for (i64 c2c : {15, 100, 250, 500, 1000, 2000}) {
-    ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-    cfg.client.timings.c2c_transfer = Cycles{c2c};
-    const Comparison c = compare_policies(cfg);
-    t.add_row({i64{c2c}, c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-               c.bandwidth_speedup_pct, c.miss_rate_reduction_pct});
+  for (const auto& row : results().comparisons()) {
+    const Comparison& c = row.comparison;
+    t.add_row({row.labels[0], c.baseline.bandwidth_mbps,
+               c.sais.bandwidth_mbps, c.bandwidth_speedup_pct,
+               c.miss_rate_reduction_pct});
     speedups.push_back(c.bandwidth_speedup_pct);
-    std::fputc('.', stderr);
   }
-  std::fputc('\n', stderr);
   bench::print_table(t);
   std::printf("\nspeed-up at c2c=hit cost: %.2f%%; at 2000 cycles: %.2f%%\n",
               speedups.front(), speedups.back());

@@ -13,8 +13,89 @@
 
 using namespace saisim;
 
+namespace {
+
+ExperimentConfig base_config() {
+  return bench::figure_config(3.0, 16, 1ull << 20);
+}
+
+const sweep::SweepResult& policies_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-policies", base_config());
+    spec.policies({PolicyKind::kRoundRobin, PolicyKind::kDedicated,
+                   PolicyKind::kIrqbalance, PolicyKind::kIrqbalanceEpoch,
+                   PolicyKind::kFlowHash, PolicyKind::kSourceAware,
+                   PolicyKind::kHybrid});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+const sweep::SweepResult& write_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-write-control", base_config());
+    spec.axis("workload",
+              std::vector<workload::IorMode>{workload::IorMode::kRead,
+                                             workload::IorMode::kWrite},
+              [](workload::IorMode m) {
+                return std::string(m == workload::IorMode::kRead ? "read"
+                                                                 : "write");
+              },
+              [](ExperimentConfig& c, workload::IorMode m) { c.ior.mode = m; })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+const sweep::SweepResult& migration_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-stale-hints",
+                          bench::figure_config(3.0, 16, 512ull << 10));
+    spec.axis("migration_prob", std::vector<double>{0.0, 0.01, 0.1, 0.5},
+              [](double p) {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%g", p);
+                return std::string(buf);
+              },
+              [](ExperimentConfig& c, double p) {
+                c.ior.wake_migration_probability = p;
+              })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+const sweep::SweepResult& pattern_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-access-pattern", base_config());
+    spec.axis("pattern",
+              std::vector<workload::AccessPattern>{
+                  workload::AccessPattern::kSequential,
+                  workload::AccessPattern::kRandom},
+              [](workload::AccessPattern p) {
+                return std::string(p == workload::AccessPattern::kSequential
+                                       ? "sequential"
+                                       : "random");
+              },
+              [](ExperimentConfig& c, workload::AccessPattern p) {
+                c.ior.pattern = p;
+              })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&policies_sweep(), &write_sweep(),
+                           &migration_sweep(), &pattern_sweep()})) {
+    return 0;
+  }
 
   bench::print_figure_header(
       "Ablation — all scheduling policies (16 servers, 1M transfers, 3G NIC)",
@@ -22,23 +103,16 @@ int main(int argc, char** argv) {
       "locality; source-aware (Figure 1c) groups peer interrupts on the "
       "consuming core.");
   {
+    const sweep::SweepResult& res = policies_sweep();
     stats::Table t({"policy", "bw_MB/s", "l2_miss_%", "cpu_util_%",
                     "unhalted_Gcyc", "c2c_transfers"});
-    for (PolicyKind policy :
-         {PolicyKind::kRoundRobin, PolicyKind::kDedicated,
-          PolicyKind::kIrqbalance, PolicyKind::kIrqbalanceEpoch,
-          PolicyKind::kFlowHash, PolicyKind::kSourceAware,
-          PolicyKind::kHybrid}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-      cfg.policy = policy;
-      const RunMetrics m = run_experiment(cfg);
-      t.add_row({std::string(policy_name(policy)), m.bandwidth_mbps,
+    for (u64 i = 0; i < res.size(); ++i) {
+      const RunMetrics& m = res.metrics[i];
+      t.add_row({res.points[i].labels[0], m.bandwidth_mbps,
                  m.l2_miss_rate * 100.0, m.cpu_utilization * 100.0,
                  m.unhalted_cycles / 1e9,
                  i64{static_cast<i64>(m.c2c_transfers)}});
-      std::fputc('.', stderr);
     }
-    std::fputc('\n', stderr);
     bench::print_table(t);
   }
 
@@ -46,18 +120,11 @@ int main(int argc, char** argv) {
   {
     stats::Table t({"workload", "bw_irqbalance_MB/s", "bw_sais_MB/s",
                     "speedup_%"});
-    for (workload::IorMode mode :
-         {workload::IorMode::kRead, workload::IorMode::kWrite}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-      cfg.ior.mode = mode;
-      const Comparison c = compare_policies(cfg);
-      t.add_row({std::string(mode == workload::IorMode::kRead ? "read"
-                                                              : "write"),
-                 c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-                 c.bandwidth_speedup_pct});
-      std::fputc('.', stderr);
+    for (const auto& row : write_sweep().comparisons()) {
+      t.add_row({row.labels[0], row.comparison.baseline.bandwidth_mbps,
+                 row.comparison.sais.bandwidth_mbps,
+                 row.comparison.bandwidth_speedup_pct});
     }
-    std::fputc('\n', stderr);
     bench::print_table(t);
     std::printf(
         "(paper §I: no locality issue in parallel writes — the speed-up "
@@ -68,15 +135,11 @@ int main(int argc, char** argv) {
   {
     stats::Table t({"migration_prob", "bw_sais_MB/s", "speedup_vs_irq_%",
                     "c2c_sais"});
-    for (double p : {0.0, 0.01, 0.1, 0.5}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 512ull << 10);
-      cfg.ior.wake_migration_probability = p;
-      const Comparison c = compare_policies(cfg);
-      t.add_row({p, c.sais.bandwidth_mbps, c.bandwidth_speedup_pct,
-                 i64{static_cast<i64>(c.sais.c2c_transfers)}});
-      std::fputc('.', stderr);
+    for (const auto& row : migration_sweep().comparisons()) {
+      t.add_row({row.labels[0], row.comparison.sais.bandwidth_mbps,
+                 row.comparison.bandwidth_speedup_pct,
+                 i64{static_cast<i64>(row.comparison.sais.c2c_transfers)}});
     }
-    std::fputc('\n', stderr);
     bench::print_table(t);
     std::printf(
         "(paper §III: migration during blocking I/O is rare, so policy (i) "
@@ -88,20 +151,11 @@ int main(int argc, char** argv) {
   {
     stats::Table t({"pattern", "bw_irqbalance_MB/s", "bw_sais_MB/s",
                     "speedup_%"});
-    for (workload::AccessPattern pat :
-         {workload::AccessPattern::kSequential,
-          workload::AccessPattern::kRandom}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-      cfg.ior.pattern = pat;
-      const Comparison c = compare_policies(cfg);
-      t.add_row({std::string(pat == workload::AccessPattern::kSequential
-                                 ? "sequential"
-                                 : "random"),
-                 c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-                 c.bandwidth_speedup_pct});
-      std::fputc('.', stderr);
+    for (const auto& row : pattern_sweep().comparisons()) {
+      t.add_row({row.labels[0], row.comparison.baseline.bandwidth_mbps,
+                 row.comparison.sais.bandwidth_mbps,
+                 row.comparison.bandwidth_speedup_pct});
     }
-    std::fputc('\n', stderr);
     bench::print_table(t);
   }
 

@@ -7,8 +7,62 @@
 
 using namespace saisim;
 
+namespace {
+
+ExperimentConfig base_config() {
+  return bench::figure_config(3.0, 16, 1ull << 20);
+}
+
+const sweep::SweepResult& strip_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-strip-size", base_config());
+    spec.axis("strip_KiB",
+              std::vector<u64>{16ull << 10, 32ull << 10, 64ull << 10,
+                               128ull << 10, 256ull << 10},
+              [](u64 s) { return std::to_string(s >> 10); },
+              [](ExperimentConfig& c, u64 s) { c.strip_size = s; })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+const sweep::SweepResult& coalesce_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-coalesce", base_config());
+    spec.axis("coalesce_count", std::vector<int>{1, 2, 4, 8, 16},
+              [](int k) { return std::to_string(k); },
+              [](ExperimentConfig& c, int k) { c.client.nic.coalesce_count = k; })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+const sweep::SweepResult& copy_sweep() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("ablation-copy-overlap", base_config());
+    spec.axis("copy_mode", std::vector<bool>{false, true},
+              [](bool incremental) {
+                return std::string(incremental ? "incremental (T_O ~ T_M)"
+                                               : "at-consume (T_O = 0)");
+              },
+              [](ExperimentConfig& c, bool incremental) {
+                c.ior.incremental_copy = incremental;
+              })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&strip_sweep(), &coalesce_sweep(), &copy_sweep()})) {
+    return 0;
+  }
 
   bench::print_figure_header(
       "Ablation — strip size, interrupt coalescing, and copy overlap",
@@ -19,33 +73,25 @@ int main(int argc, char** argv) {
   {
     stats::Table t({"strip_KiB", "strips_per_1M", "bw_irqbalance_MB/s",
                     "bw_sais_MB/s", "speedup_%"});
-    for (u64 strip : {16ull << 10, 32ull << 10, 64ull << 10, 128ull << 10,
-                      256ull << 10}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-      cfg.strip_size = strip;
-      const Comparison c = compare_policies(cfg);
-      t.add_row({i64{static_cast<i64>(strip >> 10)},
-                 i64{static_cast<i64>((1ull << 20) / strip)},
-                 c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-                 c.bandwidth_speedup_pct});
-      std::fputc('.', stderr);
+    for (const auto& row : strip_sweep().comparisons()) {
+      const u64 strip = std::stoull(row.labels[0]) << 10;
+      t.add_row({row.labels[0], i64{static_cast<i64>((1ull << 20) / strip)},
+                 row.comparison.baseline.bandwidth_mbps,
+                 row.comparison.sais.bandwidth_mbps,
+                 row.comparison.bandwidth_speedup_pct});
     }
-    std::fputc('\n', stderr);
     bench::print_table(t);
   }
 
   {
     stats::Table t({"coalesce_count", "interrupts_sais", "bw_sais_MB/s",
                     "speedup_%"});
-    for (int k : {1, 2, 4, 8, 16}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-      cfg.client.nic.coalesce_count = k;
-      const Comparison c = compare_policies(cfg);
-      t.add_row({i64{k}, i64{static_cast<i64>(c.sais.interrupts)},
-                 c.sais.bandwidth_mbps, c.bandwidth_speedup_pct});
-      std::fputc('.', stderr);
+    for (const auto& row : coalesce_sweep().comparisons()) {
+      t.add_row({row.labels[0],
+                 i64{static_cast<i64>(row.comparison.sais.interrupts)},
+                 row.comparison.sais.bandwidth_mbps,
+                 row.comparison.bandwidth_speedup_pct});
     }
-    std::fputc('\n', stderr);
     std::printf("\n");
     bench::print_table(t);
   }
@@ -53,17 +99,11 @@ int main(int argc, char** argv) {
   {
     stats::Table t({"copy_mode", "bw_irqbalance_MB/s", "bw_sais_MB/s",
                     "speedup_%"});
-    for (bool incremental : {false, true}) {
-      ExperimentConfig cfg = bench::figure_config(3.0, 16, 1ull << 20);
-      cfg.ior.incremental_copy = incremental;
-      const Comparison c = compare_policies(cfg);
-      t.add_row({std::string(incremental ? "incremental (T_O ~ T_M)"
-                                         : "at-consume (T_O = 0)"),
-                 c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-                 c.bandwidth_speedup_pct});
-      std::fputc('.', stderr);
+    for (const auto& row : copy_sweep().comparisons()) {
+      t.add_row({row.labels[0], row.comparison.baseline.bandwidth_mbps,
+                 row.comparison.sais.bandwidth_mbps,
+                 row.comparison.bandwidth_speedup_pct});
     }
-    std::fputc('\n', stderr);
     std::printf("\n");
     bench::print_table(t);
   }

@@ -7,7 +7,8 @@
 using namespace saisim;
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&bench::grid_sweep(3.0)})) return 0;
 
   bench::print_figure_header(
       "Figure 9 — CPU utilisation, 3-Gigabit NIC",

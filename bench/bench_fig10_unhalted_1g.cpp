@@ -6,7 +6,8 @@
 using namespace saisim;
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&bench::grid_sweep(1.0)})) return 0;
 
   bench::print_figure_header(
       "Figure 10 — CPU_CLK_UNHALTED, 1-Gigabit NIC",

@@ -18,6 +18,12 @@ constexpr PaperPoint kPaper[] = {{4, 14.82}, {8, 20.46},  {16, 16.23},
                                  {24, 8.72}, {32, 5.38},  {48, 3.16},
                                  {56, 1.39}};
 
+std::vector<int> client_grid() {
+  std::vector<int> g;
+  for (const auto& pp : kPaper) g.push_back(pp.clients);
+  return g;
+}
+
 ExperimentConfig multiclient_config(int clients) {
   ExperimentConfig cfg = bench::figure_config(3.0, /*servers=*/8,
                                               /*transfer=*/1ull << 20,
@@ -33,22 +39,23 @@ ExperimentConfig multiclient_config(int clients) {
   return cfg;
 }
 
-const std::vector<std::pair<int, Comparison>>& results() {
-  static std::vector<std::pair<int, Comparison>> cache;
-  if (!cache.empty()) return cache;
-  for (const auto& pp : kPaper) {
-    cache.emplace_back(pp.clients, compare_policies(multiclient_config(pp.clients)));
-    std::fputc('.', stderr);
-    std::fflush(stderr);
-  }
-  std::fputc('\n', stderr);
-  return cache;
+const sweep::SweepResult& results() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("fig12-multiclient", multiclient_config(4));
+    spec.axis("clients", client_grid(),
+              [](int c) { return std::to_string(c); },
+              [](ExperimentConfig& cfg, int c) { cfg.num_clients = c; })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&results()})) return 0;
 
   bench::print_figure_header(
       "Figure 12 — multi-client I/O bandwidth (8 I/O servers, transfer 1M)",
@@ -60,13 +67,15 @@ int main(int argc, char** argv) {
                   "speedup_%", "paper_speedup_%"});
   double peak = 0.0;
   int peak_clients = 0;
-  for (u64 i = 0; i < results().size(); ++i) {
-    const auto& [clients, c] = results()[i];
-    t.add_row({i64{clients}, c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-               c.bandwidth_speedup_pct, kPaper[i].speedup_pct});
+  const auto rows = results().comparisons();
+  for (u64 i = 0; i < rows.size(); ++i) {
+    const Comparison& c = rows[i].comparison;
+    t.add_row({i64{kPaper[i].clients}, c.baseline.bandwidth_mbps,
+               c.sais.bandwidth_mbps, c.bandwidth_speedup_pct,
+               kPaper[i].speedup_pct});
     if (c.bandwidth_speedup_pct > peak) {
       peak = c.bandwidth_speedup_pct;
-      peak_clients = clients;
+      peak_clients = kPaper[i].clients;
     }
   }
   bench::print_table(t);
@@ -87,7 +96,7 @@ int main(int argc, char** argv) {
             for (auto _ : state) {
               ExperimentConfig cfg = multiclient_config(clients);
               cfg.policy = policy;
-              m = run_experiment(cfg);
+              m = bench::runner().run_config(cfg);
             }
             state.counters["bandwidth_MBps"] = m.bandwidth_mbps;
             state.counters["per_client_MBps"] =

@@ -4,17 +4,30 @@
 // (independent processes on separate cores, strips crossing an IPC
 // segment). Paper: Si-SAIs reaches 3576.58 MB/s (+53.23%, L2 miss rate
 // -51.37%); once apps >= cores both sustain ~2500 MB/s.
+//
+// The memsim layer has its own config type, so this binary uses the sweep
+// engine's parallel_map directly instead of a SweepSpec; it still honours
+// --threads / --format / --no-progress.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "memsim/memsim.hpp"
 #include "stats/table.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/parallel.hpp"
 
 using namespace saisim;
 
 namespace {
+
+sweep::CliOptions& cli() {
+  static sweep::CliOptions opts;
+  return opts;
+}
 
 const std::vector<int>& pair_grid() {
   static const std::vector<int> g{1, 2, 4, 6, 7, 8, 10, 12, 16};
@@ -28,21 +41,55 @@ memsim::MemsimConfig config(int pairs) {
 }
 
 const std::vector<std::pair<int, memsim::MemsimComparison>>& results() {
-  static std::vector<std::pair<int, memsim::MemsimComparison>> cache;
-  if (!cache.empty()) return cache;
-  for (int pairs : pair_grid()) {
-    cache.emplace_back(pairs, memsim::compare_memsim(config(pairs)));
-    std::fputc('.', stderr);
-    std::fflush(stderr);
-  }
-  std::fputc('\n', stderr);
+  static const std::vector<std::pair<int, memsim::MemsimComparison>> cache =
+      [] {
+        sweep::ParallelOptions opts;
+        opts.threads = cli().threads;
+        opts.progress = cli().progress;
+        opts.label = "fig14-memsim";
+        std::vector<memsim::MemsimComparison> cmp = sweep::parallel_map(
+            pair_grid().size(), opts, [](u64 i) {
+              return memsim::compare_memsim(
+                  config(pair_grid()[i]));
+            });
+        std::vector<std::pair<int, memsim::MemsimComparison>> out;
+        for (u64 i = 0; i < cmp.size(); ++i) {
+          out.emplace_back(pair_grid()[i], std::move(cmp[i]));
+        }
+        return out;
+      }();
   return cache;
+}
+
+stats::Table machine_table() {
+  stats::Table t({"apps", "bw_irqbalance_mbps", "bw_sais_mbps", "speedup_pct",
+                  "miss_rate_irqbalance", "miss_rate_sais",
+                  "cpu_utilization_sais"});
+  for (const auto& [pairs, c] : results()) {
+    t.add_row({i64{pairs}, c.irqbalance.bandwidth_mbps, c.sais.bandwidth_mbps,
+               c.bandwidth_speedup_pct, c.irqbalance.l2_miss_rate,
+               c.sais.l2_miss_rate, c.sais.cpu_utilization});
+  }
+  return t;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli() = sweep::parse_cli(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  if (cli().machine_output()) {
+    const stats::Table t = machine_table();
+    if (cli().format == sweep::Format::kJson) {
+      std::fputs(t.to_json("fig14-memsim").c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::fputs(t.to_csv(stats::CellStyle::kExact).c_str(), stdout);
+    }
+    std::fflush(stdout);
+    return 0;
+  }
 
   std::printf("\n=== Figure 14 — memory parallel I/O simulation ===\n");
   std::printf(

@@ -18,10 +18,24 @@ analysis::ModelParams model_for(const ExperimentConfig& cfg, i64 requests) {
       cfg.procs_per_client, /*rest=*/Time::ms(5));
 }
 
+const sweep::SweepResult& results() {
+  static const sweep::SweepResult res = [] {
+    sweep::SweepSpec spec("model-vs-sim",
+                          bench::figure_config(3.0, 8, 1ull << 20));
+    spec.axis("servers", bench::server_grid(),
+              [](int s) { return std::to_string(s); },
+              [](ExperimentConfig& c, int s) { c.num_servers = s; })
+        .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+    return bench::runner().run(spec);
+  }();
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  bench::figure_init(&argc, argv);
+  if (bench::emit_machine({&results()})) return 0;
 
   bench::print_figure_header(
       "§III analytic model — predicted vs simulated",
@@ -30,13 +44,14 @@ int main(int argc, char** argv) {
 
   stats::Table t({"servers", "model_P_us", "model_M_us", "model_min_gap_ms",
                   "sim_gap_ms", "sim_speedup_%", "model_speedup_lb_%"});
-  for (int servers : bench::server_grid()) {
-    ExperimentConfig cfg = bench::figure_config(3.0, servers, 1ull << 20);
+  for (const auto& row : results().comparisons()) {
+    const int servers = bench::server_grid()[row.index[0]];
+    const ExperimentConfig cfg = bench::figure_config(3.0, servers, 1ull << 20);
     const i64 requests = static_cast<i64>(
         cfg.ior.total_bytes / cfg.ior.transfer_size *
         static_cast<u64>(cfg.procs_per_client));
     const auto params = model_for(cfg, requests);
-    const Comparison c = compare_policies(cfg);
+    const Comparison& c = row.comparison;
     const double sim_gap_ms =
         (c.baseline.elapsed - c.sais.elapsed).milliseconds();
     t.add_row({i64{servers}, params.strip_processing.microseconds(),
@@ -44,9 +59,7 @@ int main(int argc, char** argv) {
                analysis::min_gap(params).milliseconds(),
                sim_gap_ms, c.bandwidth_speedup_pct,
                analysis::predicted_speedup_lower_bound(params) * 100.0});
-    std::fputc('.', stderr);
   }
-  std::fputc('\n', stderr);
   bench::print_table(t);
   std::printf(
       "\nNote: the model's bound assumes fully serialized migrations with "

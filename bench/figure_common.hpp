@@ -1,9 +1,17 @@
 // Shared plumbing for the per-figure benchmark harnesses.
 //
-// Every figure binary: (1) runs its sweep through the simulator, (2) prints
-// the series the paper plots next to our measured values, (3) registers the
-// sweep points as google-benchmark entries so standard tooling
-// (--benchmark_format=json etc.) can consume the metrics as counters.
+// Every figure binary: (1) declares its sweep as a `sweep::SweepSpec` and
+// runs it through the shared parallel `sweep::SweepRunner`, (2) prints the
+// series the paper plots next to our measured values (or, with
+// --format=csv/json, emits the raw per-grid-point metrics on stdout), and
+// (3) registers the sweep points as google-benchmark entries so standard
+// tooling (--benchmark_format=json etc.) can consume the metrics as
+// counters.
+//
+// Flags (parsed by figure_init before google-benchmark's):
+//   --threads=N   worker threads for the sweep (default: hardware)
+//   --format=FMT  text (default) | csv | json
+//   --no-progress suppress the stderr progress line
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -15,6 +23,7 @@
 
 #include "core/experiment.hpp"
 #include "stats/table.hpp"
+#include "sweep/sweep.hpp"
 
 namespace saisim::bench {
 
@@ -47,40 +56,101 @@ inline ExperimentConfig figure_config(double gbit, int servers, u64 transfer,
   return cfg;
 }
 
+/// Sweep CLI options shared by every figure binary (set by figure_init).
+inline sweep::CliOptions& cli() {
+  static sweep::CliOptions opts;
+  return opts;
+}
+
+/// Process-wide runner. Its fingerprint-keyed cache means the table phase
+/// and the google-benchmark phase never re-simulate a configuration, and —
+/// unlike the old `int(gbit * 10)` bucket — two distinct configs can never
+/// collide.
+inline sweep::SweepRunner& runner() {
+  static sweep::SweepRunner r;
+  return r;
+}
+
+/// Parse the sweep flags, configure the shared runner, then hand the rest
+/// of argv to google-benchmark.
+inline void figure_init(int* argc, char** argv) {
+  cli() = sweep::parse_cli(argc, argv);
+  runner().set_options(
+      sweep::RunnerOptions{.threads = cli().threads, .progress = cli().progress});
+  benchmark::Initialize(argc, argv);
+}
+
+/// The paper's (servers × transfer × policy) grid at one NIC speed,
+/// declared once for all of Figures 5-11 and the §V.C text results.
+inline sweep::SweepSpec figure_grid_spec(double gbit,
+                                         u64 bytes_per_proc = 8ull << 20) {
+  sweep::SweepSpec spec(
+      gbit > 1.5 ? "grid-3g" : "grid-1g",
+      figure_config(gbit, server_grid().front(), transfer_grid().front(),
+                    bytes_per_proc));
+  spec.axis("servers", server_grid(),
+            [](int s) { return std::to_string(s); },
+            [](ExperimentConfig& c, int s) { c.num_servers = s; })
+      .axis("transfer", transfer_grid(), transfer_name,
+            [](ExperimentConfig& c, u64 t) { c.ior.transfer_size = t; })
+      .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+  return spec;
+}
+
+/// Run (or fetch) the full grid sweep at one NIC speed.
+inline const sweep::SweepResult& grid_sweep(double gbit) {
+  static std::map<i64, sweep::SweepResult> done;
+  const i64 key = Bandwidth::gbit(gbit).bytes_per_second();
+  auto it = done.find(key);
+  if (it == done.end()) {
+    it = done.emplace(key, runner().run(figure_grid_spec(gbit))).first;
+  }
+  return it->second;
+}
+
 struct GridPoint {
   int servers = 0;
   u64 transfer = 0;
   Comparison comparison;
 };
 
-/// Run the full (servers x transfer) grid at one NIC speed, with progress
-/// dots on stderr. Results are cached per-process so the table phase and
-/// the google-benchmark phase do not re-simulate.
-inline const std::vector<GridPoint>& grid_results(double gbit) {
-  static std::map<int, std::vector<GridPoint>> cache;
-  const int key = static_cast<int>(gbit * 10);
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-
+/// The grid collapsed to per-(servers, transfer) policy comparisons.
+inline std::vector<GridPoint> grid_results(double gbit) {
+  const sweep::SweepResult& res = grid_sweep(gbit);
   std::vector<GridPoint> out;
-  for (int servers : server_grid()) {
-    for (u64 transfer : transfer_grid()) {
-      GridPoint p;
-      p.servers = servers;
-      p.transfer = transfer;
-      p.comparison = compare_policies(figure_config(gbit, servers, transfer));
-      out.push_back(std::move(p));
-      std::fputc('.', stderr);
-      std::fflush(stderr);
+  for (auto& row : res.comparisons()) {
+    GridPoint p;
+    p.servers = server_grid()[row.index[0]];
+    p.transfer = transfer_grid()[row.index[1]];
+    p.comparison = std::move(row.comparison);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Machine output (--format=csv/json): emit the raw per-grid-point metrics
+/// of the given sweeps on stdout and return true, telling the caller to
+/// skip the human-oriented tables and the google-benchmark phase.
+inline bool emit_machine(const std::vector<const sweep::SweepResult*>& sweeps) {
+  if (!cli().machine_output()) return false;
+  if (cli().format == sweep::Format::kJson) {
+    std::fputs(sweep::to_json(sweeps).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    // CSV: one header+rows block per sweep (axes differ between sweeps).
+    for (u64 i = 0; i < sweeps.size(); ++i) {
+      if (i) std::fputc('\n', stdout);
+      std::fputs(sweep::to_csv(*sweeps[i]).c_str(), stdout);
     }
   }
-  std::fputc('\n', stderr);
-  return cache.emplace(key, std::move(out)).first->second;
+  std::fflush(stdout);
+  return true;
 }
 
 /// Register one google-benchmark entry per grid point and policy; each
-/// entry runs the simulation for that point once and exports the metrics
-/// as counters (so --benchmark_format=json yields machine-readable data).
+/// entry obtains the metrics through the shared runner (cache-backed) and
+/// exports them as counters (so --benchmark_format=json yields
+/// machine-readable data).
 inline void register_grid_benchmarks(const char* prefix, double gbit) {
   for (int servers : server_grid()) {
     for (u64 transfer : transfer_grid()) {
@@ -97,7 +167,7 @@ inline void register_grid_benchmarks(const char* prefix, double gbit) {
                 ExperimentConfig cfg =
                     figure_config(gbit, servers, transfer, 4ull << 20);
                 cfg.policy = policy;
-                m = run_experiment(cfg);
+                m = runner().run_config(cfg);
               }
               state.counters["bandwidth_MBps"] = m.bandwidth_mbps;
               state.counters["l2_miss_pct"] = m.l2_miss_rate * 100.0;

@@ -1,53 +1,74 @@
 // Calibration probe: prints the full paper sweep (servers x transfer size,
 // 1G and 3G NIC) with both policies so model constants can be tuned to the
 // paper's shapes. Not part of the figure reproductions themselves.
+//
+//   $ ./calibrate [per_proc_bytes [c2c_cycles [compute_centicycles]]]
+//                 [--threads=N] [--format=text|csv|json] [--no-progress]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "core/experiment.hpp"
 #include "stats/table.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace saisim;
 
 int main(int argc, char** argv) {
+  const sweep::CliOptions cli = sweep::parse_cli(&argc, argv);
   const u64 per_proc_bytes = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                       : 16ull << 20;
   const i64 c2c = argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 0;
   const i64 compute = argc > 3 ? std::strtoll(argv[3], nullptr, 10) : 0;
+
+  ExperimentConfig base;
+  base.ior.total_bytes = per_proc_bytes;
+  base.procs_per_client = 4;
+  if (c2c > 0) base.client.timings.c2c_transfer = Cycles{c2c};
+  if (compute > 0) base.ior.compute_centicycles_per_byte = compute;
+
+  sweep::SweepSpec spec("calibrate", base);
+  spec.axis("nic", std::vector<double>{1.0, 3.0},
+            [](double gbit) { return std::string(gbit > 1.5 ? "3G" : "1G"); },
+            [](ExperimentConfig& c, double gbit) {
+              c.client.nic_bandwidth = Bandwidth::gbit(gbit);
+              c.client.nic.queues = gbit > 1.5 ? 3 : 1;
+            })
+      .axis("servers", std::vector<int>{8, 16, 32, 48},
+            [](int s) { return std::to_string(s); },
+            [](ExperimentConfig& c, int s) { c.num_servers = s; })
+      .axis("xfer",
+            std::vector<u64>{128ull << 10, 512ull << 10, 1ull << 20,
+                             2ull << 20},
+            [](u64 x) { return std::to_string(x >> 10) + "K"; },
+            [](ExperimentConfig& c, u64 x) { c.ior.transfer_size = x; })
+      .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+
+  sweep::SweepRunner runner(
+      sweep::RunnerOptions{.threads = cli.threads, .progress = cli.progress});
+  const sweep::SweepResult res = runner.run(spec);
+
+  if (cli.machine_output()) {
+    std::fputs(sweep::render(res, cli.format).c_str(), stdout);
+    return 0;
+  }
+
   stats::Table table({"nic", "servers", "xfer", "bw_irq", "bw_sais",
                       "speedup%", "miss_irq%", "miss_sais%", "util_irq%",
                       "util_sais%", "unh_irq", "unh_sais", "unh_red%"});
-
-  for (double gbit : {1.0, 3.0}) {
-    for (int servers : {8, 16, 32, 48}) {
-      for (u64 xfer : {128ull << 10, 512ull << 10, 1ull << 20, 2ull << 20}) {
-        ExperimentConfig cfg;
-        cfg.num_servers = servers;
-        cfg.client.nic_bandwidth = Bandwidth::gbit(gbit);
-        cfg.client.nic.queues = gbit > 1.5 ? 3 : 1;
-        cfg.ior.transfer_size = xfer;
-        cfg.ior.total_bytes = per_proc_bytes;
-        cfg.procs_per_client = 4;
-        if (c2c > 0) cfg.client.timings.c2c_transfer = Cycles{c2c};
-        if (compute > 0) cfg.ior.compute_centicycles_per_byte = compute;
-        const Comparison c = compare_policies(cfg);
-        table.add_row({std::string(gbit > 1.5 ? "3G" : "1G"), i64{servers},
-                       std::string(std::to_string(xfer >> 10) + "K"),
-                       c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
-                       c.bandwidth_speedup_pct,
-                       c.baseline.l2_miss_rate * 100.0,
-                       c.sais.l2_miss_rate * 100.0,
-                       c.baseline.cpu_utilization * 100.0,
-                       c.sais.cpu_utilization * 100.0,
-                       c.baseline.unhalted_cycles / 1e9,
-                       c.sais.unhalted_cycles / 1e9,
-                       c.unhalted_reduction_pct});
-        std::fputs(".", stderr);
-      }
-    }
+  for (const auto& row : res.comparisons()) {
+    const Comparison& c = row.comparison;
+    table.add_row({row.labels[0], row.labels[1], row.labels[2],
+                   c.baseline.bandwidth_mbps, c.sais.bandwidth_mbps,
+                   c.bandwidth_speedup_pct,
+                   c.baseline.l2_miss_rate * 100.0,
+                   c.sais.l2_miss_rate * 100.0,
+                   c.baseline.cpu_utilization * 100.0,
+                   c.sais.cpu_utilization * 100.0,
+                   c.baseline.unhalted_cycles / 1e9,
+                   c.sais.unhalted_cycles / 1e9,
+                   c.unhalted_reduction_pct});
   }
-  std::fputs("\n", stderr);
   std::fputs(table.to_text().c_str(), stdout);
   return 0;
 }

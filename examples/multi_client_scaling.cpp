@@ -3,31 +3,54 @@
 // Shows aggregate bandwidth, per-client bandwidth, and the shrinking SAIs
 // advantage as the servers saturate.
 //
-//   $ ./multi_client_scaling [max_clients]
+//   $ ./multi_client_scaling [max_clients] [--threads=N] [--format=FMT]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "core/experiment.hpp"
 #include "stats/table.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace saisim;
 
 int main(int argc, char** argv) {
+  const sweep::CliOptions cli = sweep::parse_cli(&argc, argv);
   const int max_clients = argc > 1 ? std::atoi(argv[1]) : 24;
+
+  std::vector<int> client_grid;
+  for (int clients = 2; clients <= max_clients; clients *= 2) {
+    client_grid.push_back(clients);
+  }
+
+  ExperimentConfig base;
+  base.num_servers = 8;
+  base.ior.transfer_size = 1ull << 20;
+  base.ior.total_bytes = 4ull << 20;
+
+  sweep::SweepSpec spec("multi-client-scaling", base);
+  spec.axis("clients", client_grid,
+            [](int c) { return std::to_string(c); },
+            [](ExperimentConfig& cfg, int c) { cfg.num_clients = c; })
+      .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
+
+  sweep::SweepRunner runner(
+      sweep::RunnerOptions{.threads = cli.threads, .progress = cli.progress});
+  const sweep::SweepResult res = runner.run(spec);
+
+  if (cli.machine_output()) {
+    std::fputs(sweep::render(res, cli.format).c_str(), stdout);
+    return 0;
+  }
 
   stats::Table t({"clients", "aggregate_irq_MB/s", "aggregate_sais_MB/s",
                   "per_client_sais_MB/s", "speedup_%"});
-  for (int clients = 2; clients <= max_clients; clients *= 2) {
-    ExperimentConfig cfg;
-    cfg.num_clients = clients;
-    cfg.num_servers = 8;
-    cfg.ior.transfer_size = 1ull << 20;
-    cfg.ior.total_bytes = 4ull << 20;
-    const Comparison c = compare_policies(cfg);
+  for (const auto& row : res.comparisons()) {
+    const int clients = client_grid[row.index[0]];
+    const Comparison& c = row.comparison;
     t.add_row({i64{clients}, c.baseline.bandwidth_mbps,
                c.sais.bandwidth_mbps, c.sais.bandwidth_mbps / clients,
                c.bandwidth_speedup_pct});
-    std::fprintf(stderr, "ran %d clients\n", clients);
   }
   std::fputs(t.to_text().c_str(), stdout);
   std::printf(

@@ -5,7 +5,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "core/experiment.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace saisim;
 
@@ -24,7 +24,9 @@ int main() {
   std::printf("running %d IOR processes against %d PVFS servers...\n",
               cfg.procs_per_client, cfg.num_servers);
 
-  const Comparison c = compare_policies(cfg, PolicyKind::kIrqbalance);
+  // Runs both policies (concurrently, on two worker threads) and derives
+  // the paper's speed-up percentages.
+  const Comparison c = sweep::compare_policies(cfg, PolicyKind::kIrqbalance);
 
   auto show = [](const char* name, const RunMetrics& m) {
     std::printf(

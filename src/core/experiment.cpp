@@ -171,12 +171,10 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   return m;
 }
 
-Comparison compare_policies(ExperimentConfig cfg, PolicyKind baseline) {
+Comparison make_comparison(const RunMetrics& baseline, const RunMetrics& sais) {
   Comparison out;
-  cfg.policy = baseline;
-  out.baseline = run_experiment(cfg);
-  cfg.policy = PolicyKind::kSourceAware;
-  out.sais = run_experiment(cfg);
+  out.baseline = baseline;
+  out.sais = sais;
   if (out.baseline.bandwidth_mbps > 0) {
     out.bandwidth_speedup_pct =
         (out.sais.bandwidth_mbps - out.baseline.bandwidth_mbps) /

@@ -115,8 +115,8 @@ class ClientNode {
 /// Build the cluster, run the workload to completion, aggregate metrics.
 RunMetrics run_experiment(const ExperimentConfig& cfg);
 
-/// Convenience: run the same configuration under two policies and report
-/// the paper's speed-up percentage ((sais - base) / base * 100).
+/// Two runs of the same configuration under different policies, with the
+/// paper's speed-up percentage ((sais - base) / base * 100).
 struct Comparison {
   RunMetrics baseline;
   RunMetrics sais;
@@ -124,7 +124,10 @@ struct Comparison {
   double miss_rate_reduction_pct = 0.0;
   double unhalted_reduction_pct = 0.0;
 };
-Comparison compare_policies(ExperimentConfig cfg,
-                            PolicyKind baseline = PolicyKind::kIrqbalance);
+
+/// Derive the comparison percentages from two finished runs. Executing the
+/// runs themselves is the sweep engine's job: `saisim::sweep::compare_policies`
+/// (sweep/runner.hpp) runs both policies concurrently and returns this.
+Comparison make_comparison(const RunMetrics& baseline, const RunMetrics& sais);
 
 }  // namespace saisim

@@ -6,12 +6,18 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
 #include "util/types.hpp"
 
 namespace saisim::stats {
+
+/// How numeric cells are rendered. Display style rounds doubles to two
+/// decimals for humans; exact style uses the shortest round-trip form, for
+/// machine consumers (CSV/JSON trajectories).
+enum class CellStyle { kDisplay, kExact };
 
 class Table {
  public:
@@ -22,19 +28,29 @@ class Table {
   void add_row(std::vector<Cell> cells);
   u64 rows() const { return rows_.size(); }
   u64 cols() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const Cell& cell(u64 row, u64 col) const { return rows_[row][col]; }
 
   /// Render with aligned columns.
   std::string to_text() const;
   /// Render as RFC-4180-ish CSV.
-  std::string to_csv() const;
+  std::string to_csv(CellStyle style = CellStyle::kDisplay) const;
+  /// Render as one JSON object: {"name":…, "columns":[…], "rows":[{…}…]}.
+  /// Doubles use the shortest round-trip form; non-finite values become
+  /// null; strings are escaped per RFC 8259.
+  std::string to_json(std::string_view name = {}) const;
 
   void print(std::ostream& os) const;
 
  private:
-  static std::string render_cell(const Cell& c);
+  static std::string render_cell(const Cell& c,
+                                 CellStyle style = CellStyle::kDisplay);
 
   std::vector<std::string> headers_;
   std::vector<std::vector<Cell>> rows_;
 };
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
 
 }  // namespace saisim::stats

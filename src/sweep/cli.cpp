@@ -1,0 +1,60 @@
+#include "sweep/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace saisim::sweep {
+
+namespace {
+
+[[noreturn]] void bad_flag(const char* arg, const char* expect) {
+  std::fprintf(stderr, "saisim: bad flag '%s' (expected %s)\n%s\n", arg,
+               expect, cli_usage());
+  std::exit(2);
+}
+
+}  // namespace
+
+const char* cli_usage() {
+  return "sweep options: --threads=N  --format=text|csv|json  --no-progress";
+}
+
+CliOptions parse_cli(int* argc, char** argv) {
+  CliOptions opts;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0' || v < 0) {
+        bad_flag(argv[i], "--threads=N with N >= 0");
+      }
+      opts.threads = static_cast<int>(v);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string_view v = arg.substr(9);
+      if (v == "text") {
+        opts.format = Format::kText;
+      } else if (v == "csv") {
+        opts.format = Format::kCsv;
+      } else if (v == "json") {
+        opts.format = Format::kJson;
+      } else {
+        bad_flag(argv[i], "--format=text|csv|json");
+      }
+    } else if (arg == "--no-progress") {
+      opts.progress = false;
+    } else if (arg == "--progress") {
+      opts.progress = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return opts;
+}
+
+}  // namespace saisim::sweep

@@ -1,0 +1,33 @@
+// Shared command-line options for sweep-driven binaries.
+//
+// Every figure bench and sweep example accepts:
+//   --threads=N     worker threads (0/default = hardware concurrency)
+//   --format=FMT    text (default) | csv | json  — csv/json emit the raw
+//                   per-grid-point RunMetrics on stdout and skip the
+//                   human-oriented tables
+//   --no-progress   suppress the stderr progress line
+// `parse_cli` strips the flags it recognises from argv so the remainder
+// can be handed to google-benchmark untouched.
+#pragma once
+
+#include "sweep/export.hpp"
+
+namespace saisim::sweep {
+
+struct CliOptions {
+  int threads = 0;  // 0 = hardware concurrency
+  Format format = Format::kText;
+  bool progress = true;
+
+  /// csv/json selected: the binary should print machine output only.
+  bool machine_output() const { return format != Format::kText; }
+};
+
+/// Parses and removes recognised flags from argv (argc is updated).
+/// Exits with a message on a malformed value.
+CliOptions parse_cli(int* argc, char** argv);
+
+/// One-line usage string for the flags parse_cli understands.
+const char* cli_usage();
+
+}  // namespace saisim::sweep

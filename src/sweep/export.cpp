@@ -1,0 +1,108 @@
+#include "sweep/export.hpp"
+
+namespace saisim::sweep {
+
+namespace {
+
+struct MetricColumn {
+  const char* name;
+  stats::Table::Cell (*get)(const RunMetrics& m);
+};
+
+/// Stable export schema. Append-only: downstream BENCH_*.json trajectories
+/// key on these names.
+constexpr MetricColumn kColumns[] = {
+    {"bandwidth_mbps",
+     [](const RunMetrics& m) { return stats::Table::Cell{m.bandwidth_mbps}; }},
+    {"l2_miss_rate",
+     [](const RunMetrics& m) { return stats::Table::Cell{m.l2_miss_rate}; }},
+    {"cpu_utilization",
+     [](const RunMetrics& m) { return stats::Table::Cell{m.cpu_utilization}; }},
+    {"unhalted_cycles",
+     [](const RunMetrics& m) { return stats::Table::Cell{m.unhalted_cycles}; }},
+    {"softirq_cycles",
+     [](const RunMetrics& m) { return stats::Table::Cell{m.softirq_cycles}; }},
+    {"mean_read_latency_us",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{m.mean_read_latency_us};
+     }},
+    {"elapsed_us",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{m.elapsed.microseconds()};
+     }},
+    {"total_bytes",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.total_bytes)};
+     }},
+    {"c2c_transfers",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.c2c_transfers)};
+     }},
+    {"interrupts",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.interrupts)};
+     }},
+    {"retransmits",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.retransmits)};
+     }},
+    {"rx_drops",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.rx_drops)};
+     }},
+    {"hinted_interrupt_share_x1e4",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.hinted_interrupt_share_x1e4)};
+     }},
+};
+
+}  // namespace
+
+std::vector<std::string> metric_column_names() {
+  std::vector<std::string> names;
+  for (const MetricColumn& c : kColumns) names.push_back(c.name);
+  return names;
+}
+
+stats::Table to_table(const SweepResult& res) {
+  std::vector<std::string> headers = res.axis_names;
+  for (const MetricColumn& c : kColumns) headers.push_back(c.name);
+  stats::Table t(std::move(headers));
+  for (u64 i = 0; i < res.size(); ++i) {
+    std::vector<stats::Table::Cell> row;
+    row.reserve(res.axis_names.size() + std::size(kColumns));
+    for (const std::string& label : res.points[i].labels) row.push_back(label);
+    for (const MetricColumn& c : kColumns) row.push_back(c.get(res.metrics[i]));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::string to_csv(const SweepResult& res) {
+  return to_table(res).to_csv(stats::CellStyle::kExact);
+}
+
+std::string to_json(const SweepResult& res) {
+  return to_table(res).to_json(res.name);
+}
+
+std::string to_json(const std::vector<const SweepResult*>& sweeps) {
+  std::string out = "{\"sweeps\":[";
+  for (u64 i = 0; i < sweeps.size(); ++i) {
+    if (i) out += ',';
+    out += to_json(*sweeps[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render(const SweepResult& res, Format format) {
+  switch (format) {
+    case Format::kText: return to_table(res).to_text();
+    case Format::kCsv: return to_csv(res);
+    case Format::kJson: return to_json(res);
+  }
+  return {};
+}
+
+}  // namespace saisim::sweep

@@ -1,0 +1,21 @@
+// Exact fingerprint of an ExperimentConfig.
+//
+// The sweep runner caches RunMetrics keyed by this string, so two configs
+// must fingerprint equal if and only if they describe the same simulation.
+// Every field is encoded exactly — doubles by their bit pattern — which is
+// what makes the cache safe where the old benches' `int(gbit * 10)` key was
+// not (1.0 vs 1.04 Gb/s truncated to the same bucket).
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace saisim::sweep {
+
+/// Collision-free (field-order + exact-value) encoding of every field of
+/// `cfg`. Must be kept in sync when ExperimentConfig or any nested config
+/// struct grows a field; sweep_spec_test spot-checks representative fields.
+std::string config_fingerprint(const ExperimentConfig& cfg);
+
+}  // namespace saisim::sweep

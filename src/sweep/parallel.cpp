@@ -1,0 +1,46 @@
+#include "sweep/parallel.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace saisim::sweep {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+ProgressMeter::ProgressMeter(u64 total, std::string label, bool enabled)
+    : total_(total), label_(std::move(label)), enabled_(enabled) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::render(u64 done) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  std::fprintf(stderr, "\r[%s] %llu/%llu",
+               label_.empty() ? "sweep" : label_.c_str(),
+               static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(total_));
+  std::fflush(stderr);
+}
+
+void ProgressMeter::tick() {
+  const u64 done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  render(done);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  std::fprintf(stderr, "\r[%s] %llu/%llu done\n",
+               label_.empty() ? "sweep" : label_.c_str(),
+               static_cast<unsigned long long>(done_.load()),
+               static_cast<unsigned long long>(total_));
+  std::fflush(stderr);
+}
+
+}  // namespace saisim::sweep

@@ -1,0 +1,98 @@
+// Ordered parallel map over independent work items.
+//
+// Each `run_experiment` is deterministic and self-contained, so a sweep is
+// embarrassingly parallel: `parallel_map` spreads items over a std::thread
+// pool sized to hardware concurrency and still returns results indexed in
+// submission order, so callers see exactly the output of the serial loop —
+// just sooner. A `ProgressMeter` owns the single progress line on stderr
+// (completed/total), replacing the interleaved dots worker threads would
+// otherwise fight over.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace saisim::sweep {
+
+/// 0 → std::thread::hardware_concurrency (min 1).
+int resolve_threads(int requested);
+
+struct ParallelOptions {
+  int threads = 0;       // 0 = hardware concurrency
+  bool progress = true;  // single completed/total line on stderr
+  std::string label;     // prefix for the progress line
+};
+
+/// Thread-safe single-line progress report: "[label] completed/total".
+/// All updates rewrite one \r-terminated stderr line under a mutex.
+class ProgressMeter {
+ public:
+  ProgressMeter(u64 total, std::string label, bool enabled);
+  ~ProgressMeter();
+
+  void tick();    // one item completed
+  void finish();  // terminate the line (idempotent)
+
+ private:
+  void render(u64 done);
+
+  u64 total_;
+  std::string label_;
+  bool enabled_;
+  bool finished_ = false;
+  std::atomic<u64> done_{0};
+  std::mutex mu_;
+};
+
+/// Run `fn(0) .. fn(n-1)` on a worker pool and return the results in index
+/// order regardless of completion order. With `threads <= 1` (or n <= 1)
+/// this degenerates to the plain serial loop. The first exception thrown by
+/// any item is rethrown after all workers join.
+template <typename Fn>
+auto parallel_map(u64 n, const ParallelOptions& opts, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, u64>> {
+  using R = std::invoke_result_t<Fn&, u64>;
+  std::vector<R> out(n);
+  ProgressMeter meter(n, opts.label, opts.progress);
+  const u64 threads =
+      std::min<u64>(static_cast<u64>(resolve_threads(opts.threads)),
+                    n > 0 ? n : 1);
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::atomic<u64> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const u64 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        out[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      meter.tick();
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u64 t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  meter.finish();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace saisim::sweep

@@ -1,0 +1,115 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+
+#include "sweep/fingerprint.hpp"
+#include "util/assert.hpp"
+
+namespace saisim::sweep {
+
+std::vector<SweepResult::ComparisonRow> SweepResult::comparisons(
+    PolicyKind baseline, PolicyKind treatment) const {
+  SAISIM_CHECK_MSG(policy_axis >= 0,
+                   "comparisons() needs a spec with a policies() axis");
+  const auto find_kind = [&](PolicyKind k) -> u64 {
+    for (u64 i = 0; i < policy_kinds.size(); ++i)
+      if (policy_kinds[i] == k) return i;
+    SAISIM_CHECK_MSG(false, "policy not in the sweep's policy set");
+    return 0;
+  };
+  const u64 pa = static_cast<u64>(policy_axis);
+  const u64 ib = find_kind(baseline);
+  const u64 it = find_kind(treatment);
+  // Row-major stride of the policy axis: product of later axis sizes.
+  u64 stride = 1;
+  for (u64 i = pa + 1; i < axis_sizes.size(); ++i) stride *= axis_sizes[i];
+
+  std::vector<ComparisonRow> rows;
+  for (u64 flat = 0; flat < points.size(); ++flat) {
+    const SweepSpec::Point& p = points[flat];
+    if (p.index[pa] != ib) continue;
+    const u64 treated = flat + (it - ib) * stride;
+    ComparisonRow row;
+    for (u64 a = 0; a < p.labels.size(); ++a) {
+      if (a == pa) continue;
+      row.labels.push_back(p.labels[a]);
+      row.index.push_back(p.index[a]);
+    }
+    row.comparison = make_comparison(metrics[flat], metrics[treated]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SweepRunner::SweepRunner(RunnerOptions opts) : opts_(opts) {}
+
+std::shared_future<RunMetrics> SweepRunner::lookup(
+    const ExperimentConfig& cfg, std::promise<RunMetrics>** owner) {
+  const std::string key = config_fingerprint(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    *owner = nullptr;
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  promises_.push_back(std::make_unique<std::promise<RunMetrics>>());
+  *owner = promises_.back().get();
+  auto future = (*owner)->get_future().share();
+  cache_.emplace(key, future);
+  ++stats_.executed;
+  return future;
+}
+
+RunMetrics SweepRunner::fetch(const ExperimentConfig& cfg) {
+  std::promise<RunMetrics>* owner = nullptr;
+  std::shared_future<RunMetrics> future = lookup(cfg, &owner);
+  if (owner != nullptr) {
+    try {
+      owner->set_value(run_experiment(cfg));
+    } catch (...) {
+      owner->set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) {
+  SweepResult res;
+  res.name = spec.name();
+  for (const Axis& a : spec.axes()) res.axis_names.push_back(a.name);
+  res.axis_sizes = spec.axis_sizes();
+  res.policy_axis = spec.policy_axis();
+  res.policy_kinds = spec.policy_kinds();
+
+  const u64 n = spec.size();
+  res.points.resize(n);
+  for (u64 i = 0; i < n; ++i) res.points[i] = spec.point(i);
+
+  ParallelOptions popts;
+  popts.threads = opts_.threads;
+  popts.progress = opts_.progress;
+  popts.label = spec.name();
+  res.metrics = parallel_map(
+      n, popts, [&](u64 i) { return fetch(res.points[i].config); });
+  return res;
+}
+
+RunMetrics SweepRunner::run_config(const ExperimentConfig& cfg) {
+  return fetch(cfg);
+}
+
+RunnerStats SweepRunner::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Comparison compare_policies(ExperimentConfig cfg, PolicyKind baseline) {
+  SweepSpec spec("compare", cfg);
+  spec.policies({baseline, PolicyKind::kSourceAware});
+  SweepRunner runner(RunnerOptions{.threads = 2, .progress = false});
+  const SweepResult res = runner.run(spec);
+  return make_comparison(res.metrics[0], res.metrics[1]);
+}
+
+}  // namespace saisim::sweep

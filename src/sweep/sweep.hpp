@@ -1,0 +1,11 @@
+// Umbrella header for the sweep engine: declarative SweepSpec grids, the
+// parallel SweepRunner with its fingerprint-keyed cache, machine-readable
+// exporters, and the shared CLI flags. See DESIGN.md "Sweep engine".
+#pragma once
+
+#include "sweep/cli.hpp"      // IWYU pragma: export
+#include "sweep/export.hpp"   // IWYU pragma: export
+#include "sweep/fingerprint.hpp"  // IWYU pragma: export
+#include "sweep/parallel.hpp" // IWYU pragma: export
+#include "sweep/runner.hpp"   // IWYU pragma: export
+#include "sweep/spec.hpp"     // IWYU pragma: export

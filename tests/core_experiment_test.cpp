@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sweep/sweep.hpp"
+
 namespace saisim {
 namespace {
 
@@ -67,7 +69,8 @@ TEST(Experiment, SourceAwareLowersMissRate) {
 }
 
 TEST(Experiment, ComparisonComputesSpeedup) {
-  const Comparison c = compare_policies(small_config(PolicyKind::kIrqbalance));
+  const Comparison c =
+      sweep::compare_policies(small_config(PolicyKind::kIrqbalance));
   EXPECT_GT(c.sais.bandwidth_mbps, 0.0);
   EXPECT_GT(c.baseline.bandwidth_mbps, 0.0);
   const double expect_pct = (c.sais.bandwidth_mbps - c.baseline.bandwidth_mbps) /

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "core/experiment.hpp"
+#include "sweep/sweep.hpp"
 
 namespace saisim {
 namespace {
@@ -33,7 +34,7 @@ TEST_P(LocalitySweep, SaisReducesCacheToCacheTrafficEverywhere) {
   ExperimentConfig cfg = base_config();
   cfg.num_servers = servers;
   cfg.ior.transfer_size = transfer;
-  const Comparison c = compare_policies(cfg);
+  const Comparison c = sweep::compare_policies(cfg);
   EXPECT_LT(c.sais.c2c_transfers, c.baseline.c2c_transfers / 4)
       << servers << " servers, transfer " << transfer;
   // At transfers far beyond the 512 KiB private L2, SAIs trades c2c misses
@@ -94,7 +95,7 @@ TEST(RegimeProperties, OneGigabitIsNicBound) {
   ExperimentConfig cfg = base_config();
   cfg.client.nic_bandwidth = Bandwidth::gbit(1.0);
   cfg.client.nic.queues = 1;
-  const Comparison c = compare_policies(cfg);
+  const Comparison c = sweep::compare_policies(cfg);
   // Bandwidth pinned near the NIC rate; speed-up small (paper: 6.05% max).
   EXPECT_LT(c.baseline.bandwidth_mbps, 126.0);
   EXPECT_LT(c.bandwidth_speedup_pct, 12.0);
@@ -108,10 +109,10 @@ TEST(RegimeProperties, ThreeGigabitSpeedupExceedsOneGigabit) {
   cfg.ior.transfer_size = 512ull << 10;
   cfg.client.nic_bandwidth = Bandwidth::gbit(1.0);
   cfg.client.nic.queues = 1;
-  const Comparison one_g = compare_policies(cfg);
+  const Comparison one_g = sweep::compare_policies(cfg);
   cfg.client.nic_bandwidth = Bandwidth::gbit(3.0);
   cfg.client.nic.queues = 3;
-  const Comparison three_g = compare_policies(cfg);
+  const Comparison three_g = sweep::compare_policies(cfg);
   EXPECT_GT(three_g.bandwidth_speedup_pct, one_g.bandwidth_speedup_pct);
   EXPECT_GT(three_g.sais.bandwidth_mbps, one_g.sais.bandwidth_mbps * 1.5);
 }
@@ -121,7 +122,7 @@ TEST(RegimeProperties, ThreeGigabitSpeedupExceedsOneGigabit) {
 TEST(RegimeProperties, WriteWorkloadShowsNoMeaningfulPolicyEffect) {
   ExperimentConfig cfg = base_config();
   cfg.ior.mode = workload::IorMode::kWrite;
-  const Comparison c = compare_policies(cfg);
+  const Comparison c = sweep::compare_policies(cfg);
   EXPECT_EQ(c.baseline.total_bytes, c.sais.total_bytes);
   // The paper: "there is not a data locality issue associated with
   // interrupt scheduling in parallel I/O write operations."
@@ -131,10 +132,10 @@ TEST(RegimeProperties, WriteWorkloadShowsNoMeaningfulPolicyEffect) {
 TEST(RegimeProperties, ReadWorkloadShowsThePolicyEffectWritesLack) {
   ExperimentConfig read_cfg = base_config();
   read_cfg.num_servers = 16;
-  const Comparison reads = compare_policies(read_cfg);
+  const Comparison reads = sweep::compare_policies(read_cfg);
   ExperimentConfig write_cfg = read_cfg;
   write_cfg.ior.mode = workload::IorMode::kWrite;
-  const Comparison writes = compare_policies(write_cfg);
+  const Comparison writes = sweep::compare_policies(write_cfg);
   EXPECT_GT(reads.bandwidth_speedup_pct,
             writes.bandwidth_speedup_pct + 1.0);
 }

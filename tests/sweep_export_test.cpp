@@ -1,0 +1,107 @@
+// Golden-output tests for the sweep exporters: exact CSV/JSON bytes for a
+// tiny hand-built 2x2 sweep, including delimiter/quote/newline escaping and
+// the stable (append-only) metric column order.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sweep/export.hpp"
+
+namespace saisim::sweep {
+namespace {
+
+SweepResult tiny_result() {
+  SweepResult res;
+  res.name = "tiny";
+  res.axis_names = {"who,what", "policy"};  // comma exercises CSV quoting
+  res.axis_sizes = {2, 2};
+  res.policy_axis = 1;
+  res.policy_kinds = {PolicyKind::kIrqbalance, PolicyKind::kSourceAware};
+  const std::vector<std::vector<std::string>> labels = {
+      {"a\"b", "irq"},           // embedded quote
+      {"a\"b", "sais"},
+      {"line1\nline2", "irq"},   // embedded newline
+      {"line1\nline2", "sais"},
+  };
+  const double bw[] = {1.5, 2.5, 3.25, 4.125};
+  for (u64 i = 0; i < 4; ++i) {
+    SweepSpec::Point p;
+    p.flat = i;
+    p.index = {i / 2, i % 2};
+    p.labels = labels[i];
+    res.points.push_back(std::move(p));
+    RunMetrics m;
+    m.bandwidth_mbps = bw[i];
+    m.total_bytes = i + 1;
+    res.metrics.push_back(std::move(m));
+  }
+  return res;
+}
+
+TEST(SweepExport, MetricColumnOrderIsStable) {
+  // Append-only schema: downstream consumers key on these names in this
+  // order. Changing or reordering them is a breaking change.
+  EXPECT_EQ(metric_column_names(),
+            (std::vector<std::string>{
+                "bandwidth_mbps", "l2_miss_rate", "cpu_utilization",
+                "unhalted_cycles", "softirq_cycles", "mean_read_latency_us",
+                "elapsed_us", "total_bytes", "c2c_transfers", "interrupts",
+                "retransmits", "rx_drops", "hinted_interrupt_share_x1e4"}));
+}
+
+TEST(SweepExport, CsvGolden) {
+  const std::string want =
+      "\"who,what\",policy,bandwidth_mbps,l2_miss_rate,cpu_utilization,"
+      "unhalted_cycles,softirq_cycles,mean_read_latency_us,elapsed_us,"
+      "total_bytes,c2c_transfers,interrupts,retransmits,rx_drops,"
+      "hinted_interrupt_share_x1e4\n"
+      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0\n"
+      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0\n"
+      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0\n"
+      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0\n";
+  EXPECT_EQ(to_csv(tiny_result()), want);
+}
+
+TEST(SweepExport, JsonGolden) {
+  auto row = [](const char* who, const char* policy, const char* bwv,
+                const char* bytes) {
+    return std::string("{\"who,what\":\"") + who + "\",\"policy\":\"" +
+           policy + "\",\"bandwidth_mbps\":" + bwv +
+           ",\"l2_miss_rate\":0,\"cpu_utilization\":0,\"unhalted_cycles\":0,"
+           "\"softirq_cycles\":0,\"mean_read_latency_us\":0,\"elapsed_us\":0,"
+           "\"total_bytes\":" + bytes +
+           ",\"c2c_transfers\":0,\"interrupts\":0,\"retransmits\":0,"
+           "\"rx_drops\":0,\"hinted_interrupt_share_x1e4\":0}";
+  };
+  const std::string want =
+      std::string(
+          "{\"name\":\"tiny\",\"columns\":[\"who,what\",\"policy\","
+          "\"bandwidth_mbps\",\"l2_miss_rate\",\"cpu_utilization\","
+          "\"unhalted_cycles\",\"softirq_cycles\",\"mean_read_latency_us\","
+          "\"elapsed_us\",\"total_bytes\",\"c2c_transfers\",\"interrupts\","
+          "\"retransmits\",\"rx_drops\",\"hinted_interrupt_share_x1e4\"],"
+          "\"rows\":[") +
+      row("a\\\"b", "irq", "1.5", "1") + "," +
+      row("a\\\"b", "sais", "2.5", "2") + "," +
+      row("line1\\nline2", "irq", "3.25", "3") + "," +
+      row("line1\\nline2", "sais", "4.125", "4") + "]}";
+  EXPECT_EQ(to_json(tiny_result()), want);
+}
+
+TEST(SweepExport, JsonBundleWrapsSweeps) {
+  const SweepResult res = tiny_result();
+  const std::string single = to_json(res);
+  EXPECT_EQ(to_json(std::vector<const SweepResult*>{&res, &res}),
+            "{\"sweeps\":[" + single + "," + single + "]}");
+}
+
+TEST(SweepExport, RenderDispatchesOnFormat) {
+  const SweepResult res = tiny_result();
+  EXPECT_EQ(render(res, Format::kCsv), to_csv(res));
+  EXPECT_EQ(render(res, Format::kJson), to_json(res));
+  EXPECT_FALSE(render(res, Format::kText).empty());
+}
+
+}  // namespace
+}  // namespace saisim::sweep
