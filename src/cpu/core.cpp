@@ -14,7 +14,7 @@ Core::Core(sim::Simulation& simulation, CoreId id, Frequency freq,
 }
 
 void Core::submit(WorkItem item) {
-  SAISIM_CHECK(item.cost != nullptr);
+  SAISIM_CHECK(item.cost);
   const auto band = static_cast<u64>(item.prio);
   SAISIM_CHECK(band < kNumPriorities);
   queues_[band].push_back(Pending{std::move(item), Cycles::zero(), false});

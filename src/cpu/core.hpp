@@ -10,10 +10,10 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/simulation.hpp"
+#include "util/small_function.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -25,10 +25,12 @@ inline constexpr int kNumPriorities = 3;
 /// A burst of CPU work. `cost` is evaluated once, when the burst first gets
 /// the core — this lets memory-dependent work (cache probes) price itself
 /// against the machine state at execution time, not submission time.
+/// The callables use inline storage (SmallFunction), so submitting a work
+/// item allocates nothing for typical captures; WorkItem is move-only.
 struct WorkItem {
   Priority prio = Priority::kUser;
-  std::function<Cycles(Time now)> cost;
-  std::function<void(Time now)> on_complete;
+  SmallFunction<Cycles(Time now)> cost;
+  SmallFunction<void(Time now)> on_complete;
   const char* tag = "";
 };
 

@@ -3,8 +3,17 @@
 // Models the per-core private L2 of the paper's AMD Opteron testbed
 // (512 KiB, 64 B lines). Only tags and LRU state are kept — the simulator
 // never stores payload bytes, it tracks *where* each line currently lives.
+//
+// Hot-path notes: entries are packed to 16 bytes (line/valid/dirty fused
+// into one tag word) so a 16-way set spans 4 cache lines; every set keeps
+// an MRU way hint, so streaming workloads (the dominant access pattern —
+// NIC payload walks, strip combines) hit one entry instead of scanning all
+// 16 ways; and probe_run() walks a contiguous line range with the set
+// cursor carried between lines, which is what MemorySystem::access batches
+// its per-64B-line loop on.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <optional>
 #include <vector>
@@ -36,28 +45,17 @@ class Cache {
     SAISIM_CHECK(std::has_single_bit(sets));
     set_mask_ = sets - 1;
     lines_.resize(sets * cfg.ways);
+    mru_way_.assign(sets, 0);
   }
 
   const CacheConfig& config() const { return cfg_; }
 
   LineAddr line_of(Address addr) const { return addr / cfg_.line_bytes; }
 
-  /// True if the line is present; refreshes LRU on hit.
-  bool probe(LineAddr line) {
-    Entry* e = find(line);
-    if (e == nullptr) return false;
-    e->lru = ++lru_clock_;
-    return true;
-  }
-
-  /// Presence check without touching LRU state.
-  bool contains(LineAddr line) const {
-    return const_cast<Cache*>(this)->find(line) != nullptr;
-  }
-
-  bool is_dirty(LineAddr line) const {
-    const Entry* e = const_cast<Cache*>(this)->find(line);
-    return e != nullptr && e->dirty;
+  /// True if the line is present; refreshes LRU on hit and, for a store,
+  /// marks the line dirty in the same scan.
+  bool probe(LineAddr line, bool mark_dirty_on_hit = false) {
+    return probe_run(line, 1, mark_dirty_on_hit) == 1;
   }
 
   struct Eviction {
@@ -65,35 +63,93 @@ class Cache {
     bool dirty;
   };
 
+  /// Result of a victim lookup: where the next insert of that line will
+  /// land, and what it displaces. See find_victim/commit_insert.
+  struct PendingInsert {
+    std::optional<Eviction> evicted;
+    u64 set = 0;
+    u32 way = 0;
+  };
+
+  /// Probe the contiguous lines [first, first + count) in ascending order,
+  /// refreshing LRU (and marking dirty if `dirty`) on each hit; stops at
+  /// the first absent line. Returns the number of leading hits consumed.
+  /// Equivalent to `count` probe() calls, but the set cursor, way hints and
+  /// LRU clock stay in registers across the whole run.
+  ///
+  /// If `miss_victim` is non-null and the run stops short, it receives the
+  /// victim slot for the missing line — the same scan that proves the line
+  /// absent selects where its insert will land, so the miss path pays one
+  /// set walk, not two. Pass it to commit_insert with no intervening
+  /// operations on this cache.
+  u64 probe_run(LineAddr first, u64 count, bool dirty,
+                PendingInsert* miss_victim = nullptr) {
+    return dirty ? probe_run_impl<true>(first, count, miss_victim)
+                 : probe_run_impl<false>(first, count, miss_victim);
+  }
+
+  /// Presence check without touching LRU state.
+  bool contains(LineAddr line) const { return find(line) != nullptr; }
+
+  bool is_dirty(LineAddr line) const {
+    const Entry* e = find(line);
+    return e != nullptr && (e->tag & kDirty) != 0;
+  }
+
+  /// Two-phase insert. find_victim locates the way the new line will land
+  /// in (checking the must-not-be-present invariant in the same scan) and
+  /// reports the eviction early, so the caller can overlap the victim's
+  /// directory bookkeeping with other miss work; commit_insert then writes
+  /// the new line into that slot. No other operation on this cache may
+  /// intervene between the two calls.
+  PendingInsert find_victim(LineAddr line) const {
+    const u64 set = set_index(line);
+    const Entry* const base = lines_.data() + set * cfg_.ways;
+    const Entry* victim = nullptr;
+    bool victim_invalid = false;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      const Entry& e = base[w];
+      if ((e.tag & kValid) == 0) {
+        if (!victim_invalid) {  // first invalid way wins, as before
+          victim = &e;
+          victim_invalid = true;
+        }
+        continue;
+      }
+      SAISIM_CHECK_MSG(e.tag >> 2 != line, "double insert of cache line");
+      if (!victim_invalid && (victim == nullptr || e.lru < victim->lru)) {
+        victim = &e;
+      }
+    }
+    PendingInsert p;
+    p.set = set;
+    p.way = static_cast<u32>(victim - base);
+    if ((victim->tag & kValid) != 0) {
+      p.evicted = Eviction{victim->tag >> 2, (victim->tag & kDirty) != 0};
+    }
+    return p;
+  }
+
+  void commit_insert(const PendingInsert& p, LineAddr line, bool dirty) {
+    Entry* const e = lines_.data() + p.set * cfg_.ways + p.way;
+    if (!p.evicted) ++resident_;
+    e->tag = (line << 2) | kValid | (dirty ? kDirty : 0);
+    e->lru = ++lru_clock_;
+    mru_way_[p.set] = p.way;
+  }
+
   /// Insert a line (must not be present). Returns the victim, if any.
   std::optional<Eviction> insert(LineAddr line, bool dirty) {
-    SAISIM_CHECK_MSG(find(line) == nullptr, "double insert of cache line");
-    const u64 base = set_index(line) * cfg_.ways;
-    Entry* victim = nullptr;
-    for (u32 w = 0; w < cfg_.ways; ++w) {
-      Entry& e = lines_[base + w];
-      if (!e.valid) {
-        victim = &e;
-        break;
-      }
-      if (victim == nullptr || e.lru < victim->lru) victim = &e;
-    }
-    std::optional<Eviction> out;
-    if (victim->valid) out = Eviction{victim->line, victim->dirty};
-    victim->valid = true;
-    victim->line = line;
-    victim->dirty = dirty;
-    victim->lru = ++lru_clock_;
-    if (out) --resident_;
-    ++resident_;
-    return out;
+    const PendingInsert p = find_victim(line);
+    commit_insert(p, line, dirty);
+    return p.evicted;
   }
 
   /// Mark a present line dirty (store hit).
   void mark_dirty(LineAddr line) {
     Entry* e = find(line);
     SAISIM_CHECK(e != nullptr);
-    e->dirty = true;
+    e->tag |= kDirty;
   }
 
   /// Drop a line if present; returns whether it was dirty.
@@ -104,9 +160,8 @@ class Cache {
   Invalidation invalidate(LineAddr line) {
     Entry* e = find(line);
     if (e == nullptr) return {false, false};
-    const bool dirty = e->dirty;
-    e->valid = false;
-    e->dirty = false;
+    const bool dirty = (e->tag & kDirty) != 0;
+    e->tag = 0;
     --resident_;
     return {true, dirty};
   }
@@ -114,22 +169,126 @@ class Cache {
   u64 resident_lines() const { return resident_; }
 
  private:
+  static constexpr u64 kValid = 1;
+  static constexpr u64 kDirty = 2;
+
+  /// Packed tag entry: bits [63:2] line address, bit 1 dirty, bit 0 valid.
+  /// A validity-and-line match is a single masked compare.
   struct Entry {
-    LineAddr line = 0;
+    u64 tag = 0;  // 0 == invalid
     u64 lru = 0;
-    bool valid = false;
-    bool dirty = false;
   };
 
   u64 set_index(LineAddr line) const { return line & set_mask_; }
 
-  Entry* find(LineAddr line) {
-    const u64 base = set_index(line) * cfg_.ways;
-    for (u32 w = 0; w < cfg_.ways; ++w) {
-      Entry& e = lines_[base + w];
-      if (e.valid && e.line == line) return &e;
+  /// probe_run body, specialised on the dirty flag so the inner loop is
+  /// pure loads, one compare and one LRU store per line. Consecutive lines
+  /// fill consecutive sets, so the walk is chunked at set-array wrap
+  /// boundaries and the inner loop advances raw pointers. The fallback
+  /// scan (MRU hint wrong) doubles as the victim scan: when it ends with
+  /// the line absent, it has also found the slot an insert would take.
+  template <bool Dirty>
+  u64 probe_run_impl(LineAddr first, u64 count, PendingInsert* miss_victim) {
+    const u64 sets = set_mask_ + 1;
+    const u32 ways = cfg_.ways;
+    u64 clock = lru_clock_;
+    u64 done = 0;
+    u64 want = (first << 2) | kValid;
+    u64 set = first & set_mask_;
+    while (done < count) {
+      const u64 chunk = std::min(count - done, sets - set);
+      Entry* base = lines_.data() + set * ways;
+      u32* mp = mru_way_.data() + set;
+      u64 stop = done + chunk;
+      while (done < stop) {
+        // Tight hint-hit loop: no call is reachable from inside it, so its
+        // state lives in scratch registers (a function call in the body
+        // would force everything into callee-saved slots).
+        for (; done < stop; ++done, want += 4, base += ways, ++mp) {
+          Entry* const e = base + *mp;
+          if ((e->tag & ~kDirty) != want) break;
+          e->lru = ++clock;
+          if constexpr (Dirty) e->tag |= kDirty;
+        }
+        if (done == stop) break;
+        // Hint missed: scan the whole set out of line.
+        Entry* const e = scan_set(base, mp, want, miss_victim);
+        if (e == nullptr) {
+          lru_clock_ = clock;
+          return done;
+        }
+        e->lru = ++clock;
+        if constexpr (Dirty) e->tag |= kDirty;
+        ++done;
+        want += 4;
+        base += ways;
+        ++mp;
+      }
+      set = 0;
+    }
+    lru_clock_ = clock;
+    return done;
+  }
+
+  /// Fallback scan when the MRU hint is wrong: look for `want` across the
+  /// set, refreshing the hint on a hit. This path is itself hot — any
+  /// buffer spanning a set more than once defeats the hint on re-walks —
+  /// so the match loop stays lean; only a genuine miss (line absent) pays
+  /// the second, victim-selection pass over the now L1-resident set.
+  Entry* scan_set(Entry* base, u32* mp, u64 want, PendingInsert* miss_victim) {
+    const u32 ways = cfg_.ways;
+    for (u32 w = 0; w < ways; ++w) {
+      if ((base[w].tag & ~kDirty) == want) {
+        *mp = w;
+        return base + w;
+      }
+    }
+    // Absent. The scan above proves the no-double-insert invariant, so the
+    // victim pass needs only the occupancy and LRU ordering.
+    if (miss_victim != nullptr) {
+      const Entry* victim = nullptr;
+      bool victim_invalid = false;
+      for (u32 w = 0; w < ways; ++w) {
+        const Entry& c = base[w];
+        if ((c.tag & kValid) == 0) {
+          if (!victim_invalid) {  // first invalid way wins, as before
+            victim = &c;
+            victim_invalid = true;
+          }
+        } else if (!victim_invalid &&
+                   (victim == nullptr || c.lru < victim->lru)) {
+          victim = &c;
+        }
+      }
+      miss_victim->set = static_cast<u64>(mp - mru_way_.data());
+      miss_victim->way = static_cast<u32>(victim - base);
+      miss_victim->evicted.reset();
+      if ((victim->tag & kValid) != 0) {
+        miss_victim->evicted =
+            Eviction{victim->tag >> 2, (victim->tag & kDirty) != 0};
+      }
     }
     return nullptr;
+  }
+
+  /// Lookup: try the set's MRU way first (one compare on a streaming
+  /// re-walk), fall back to scanning the remaining ways.
+  const Entry* find(LineAddr line) const {
+    const u64 set = set_index(line);
+    const Entry* const base = lines_.data() + set * cfg_.ways;
+    const u64 want = (line << 2) | kValid;
+    const u32 hint = mru_way_[set];
+    if ((base[hint].tag & ~kDirty) == want) return base + hint;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      if ((base[w].tag & ~kDirty) == want) {
+        mru_way_[set] = w;
+        return base + w;
+      }
+    }
+    return nullptr;
+  }
+  Entry* find(LineAddr line) {
+    return const_cast<Entry*>(static_cast<const Cache*>(this)->find(line));
   }
 
   CacheConfig cfg_;
@@ -137,6 +296,9 @@ class Cache {
   u64 lru_clock_ = 0;
   u64 resident_ = 0;
   std::vector<Entry> lines_;
+  /// Per-set MRU way hint — a lookup accelerator, not cache state: stale
+  /// hints only cost the fallback scan, so const lookups may refresh it.
+  mutable std::vector<u32> mru_way_;
 };
 
 }  // namespace saisim::mem

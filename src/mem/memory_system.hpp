@@ -9,11 +9,11 @@
 // as M per strip (and it makes M vs P explicit and sweepable).
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "mem/address_space.hpp"
 #include "mem/cache.hpp"
+#include "mem/owner_directory.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -122,8 +122,12 @@ class MemorySystem {
   std::vector<Cache> caches_;
   std::vector<CoreCacheStats> stats_;
   /// line -> owning core, for lines resident in some private cache.
-  std::unordered_map<LineAddr, CoreId> owner_;
+  /// Pre-sized to the machine's total line count, so it never rehashes on
+  /// the access path.
+  OwnerDirectory owner_;
 
+  /// Serialization time of one cache line (precomputed; zero if unlimited).
+  Time line_xfer_ = Time::zero();
   /// Leaky-bucket controller state: backlog drains at the DRAM rate.
   Time dram_last_update_ = Time::zero();
   u64 dram_backlog_bytes_ = 0;

@@ -1,0 +1,141 @@
+// Flat open-addressing directory mapping resident cache lines to their
+// owning core.
+//
+// The coherence model is single-owner (MESI-lite with migratory sharing),
+// so the directory is a LineAddr -> CoreId map that the memory walk hits
+// once per missing line. A std::unordered_map spends the walk chasing
+// buckets and allocating nodes; this table is a single contiguous array
+// with power-of-two capacity, multiplicative hashing and linear probing,
+// and erases use backward-shift deletion instead of tombstones, so probe
+// chains never degrade over the billions of insert/erase cycles a sweep
+// performs. Entries pack line and owner into one 64-bit word (the probes
+// are random touches into a multi-megabyte table, so halving the entry
+// doubles the slots per hardware cache line). The population is bounded by
+// the total number of cache lines in the machine, so MemorySystem pre-sizes
+// the table and it never rehashes on the hot path.
+#pragma once
+
+#include <bit>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace saisim::mem {
+
+class OwnerDirectory {
+ public:
+  /// `expected_lines` bounds the live population (e.g. the machine's total
+  /// cache lines); capacity is the next power of two giving load <= 0.5.
+  explicit OwnerDirectory(u64 expected_lines = 256) {
+    u64 cap = std::bit_ceil(expected_lines < 8 ? u64{16} : expected_lines * 2);
+    table_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  u64 size() const { return size_; }
+  u64 capacity() const { return table_.size(); }
+
+  /// Hint that `line`'s slot is about to be probed. The table is a random
+  /// touch into megabytes; the access path issues this for line N+1 while
+  /// the miss handling of line N covers the latency.
+  void prefetch(LineAddr line) const {
+    __builtin_prefetch(&table_[home(line)]);
+  }
+
+  /// Owning core of `line`, or kNoCore if the line is only in memory.
+  CoreId find(LineAddr line) const {
+    for (u64 i = home(line);; i = (i + 1) & mask_) {
+      const u64 w = table_[i];
+      if (w == 0) return kNoCore;
+      if ((w >> kOwnerBits) == line) return owner_of(w);
+    }
+  }
+
+  /// Set the owner of `line`, inserting it if absent. Returns the previous
+  /// owner (kNoCore if the line was not present) — the access path uses
+  /// this to fold its find/erase/insert triple into one probe.
+  CoreId assign(LineAddr line, CoreId owner) {
+    const u64 packed = pack(line, owner);
+    if (size_ * 2 >= table_.size()) grow();
+    for (u64 i = home(line);; i = (i + 1) & mask_) {
+      const u64 w = table_[i];
+      if (w == 0) {
+        table_[i] = packed;
+        ++size_;
+        return kNoCore;
+      }
+      if ((w >> kOwnerBits) == line) {
+        table_[i] = packed;
+        return owner_of(w);
+      }
+    }
+  }
+
+  /// Remove `line`. Returns its owner, or kNoCore if it was absent.
+  /// Deletion backshifts the tail of the probe chain (no tombstones).
+  CoreId erase(LineAddr line) {
+    u64 i = home(line);
+    for (;; i = (i + 1) & mask_) {
+      const u64 w = table_[i];
+      if (w == 0) return kNoCore;
+      if ((w >> kOwnerBits) == line) break;
+    }
+    const CoreId owner = owner_of(table_[i]);
+    // Backward-shift: pull every displaced entry after the hole one step
+    // back unless that would move it before its home slot.
+    u64 hole = i;
+    for (u64 j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      const u64 w = table_[j];
+      if (w == 0) break;
+      const u64 h = home(w >> kOwnerBits);
+      // w may fill the hole iff its home precedes-or-equals the hole in
+      // cyclic probe order, i.e. the hole lies within w's probe chain.
+      if (((j - h) & mask_) >= ((j - hole) & mask_)) {
+        table_[hole] = w;
+        hole = j;
+      }
+    }
+    table_[hole] = 0;
+    --size_;
+    return owner;
+  }
+
+ private:
+  /// Slot word: bits [63:8] line address, bits [7:0] owner + 1 (0 == empty).
+  static constexpr u64 kOwnerBits = 8;
+
+  static u64 pack(LineAddr line, CoreId owner) {
+    SAISIM_CHECK(owner != kNoCore);
+    SAISIM_CHECK(owner >= 0 && owner < (1 << kOwnerBits) - 1);
+    SAISIM_CHECK(line < (u64{1} << (64 - kOwnerBits)));
+    return (line << kOwnerBits) | (static_cast<u64>(owner) + 1);
+  }
+
+  static CoreId owner_of(u64 w) {
+    return static_cast<CoreId>(w & ((u64{1} << kOwnerBits) - 1)) - 1;
+  }
+
+  u64 home(LineAddr line) const {
+    // Fibonacci hashing: one multiply spreads the low-entropy, mostly
+    // sequential line addresses across the table.
+    return (line * 0x9E3779B97F4A7C15ull >> 17) & mask_;
+  }
+
+  void grow() {
+    std::vector<u64> old = std::move(table_);
+    table_.assign(old.size() * 2, 0);
+    mask_ = table_.size() - 1;
+    size_ = 0;
+    for (const u64 w : old) {
+      if (w != 0) assign(w >> kOwnerBits, owner_of(w));
+    }
+  }
+
+  std::vector<u64> table_;
+  u64 mask_ = 0;
+  u64 size_ = 0;
+};
+
+}  // namespace saisim::mem

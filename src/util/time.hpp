@@ -15,6 +15,25 @@
 
 namespace saisim {
 
+namespace detail {
+/// Exact floor(a * b / d) for non-negative a and positive b, d, with a
+/// 128-bit intermediate. The conversions below run once per scheduled work
+/// segment and once per DRAM booking, and GCC lowers 128-bit division to a
+/// `__divti3` call; when the product fits in 64 bits (every hot-path case —
+/// cycle counts and byte backlogs are nowhere near 2^64 / 10^12) a single
+/// hardware division gives the identical truncated quotient.
+constexpr i64 muldiv(i64 a, i64 b, i64 d) {
+  if (a >= 0) {
+    const u128 p = static_cast<u128>(static_cast<u64>(a)) *
+                   static_cast<u64>(b);
+    if (p <= static_cast<u128>(UINT64_MAX)) {
+      return static_cast<i64>(static_cast<u64>(p) / static_cast<u64>(d));
+    }
+  }
+  return static_cast<i64>(static_cast<i128>(a) * b / d);
+}
+}  // namespace detail
+
 /// A point in (or span of) simulated time, counted in integer picoseconds.
 class Time {
  public:
@@ -112,15 +131,12 @@ class Frequency {
   /// Duration of `c` cycles at this frequency.
   constexpr Time duration(Cycles c) const {
     // ps = cycles * 1e12 / hz, via a 128-bit intermediate.
-    const auto ps = static_cast<i128>(c.count()) * 1'000'000'000'000 / hz_;
-    return Time::ps(static_cast<i64>(ps));
+    return Time::ps(detail::muldiv(c.count(), 1'000'000'000'000, hz_));
   }
 
   /// Number of whole cycles elapsing in `t` (rounds down).
   constexpr Cycles cycles_in(Time t) const {
-    const auto cyc =
-        static_cast<i128>(t.picoseconds()) * hz_ / 1'000'000'000'000;
-    return Cycles{static_cast<i64>(cyc)};
+    return Cycles{detail::muldiv(t.picoseconds(), hz_, 1'000'000'000'000)};
   }
 
   constexpr auto operator<=>(const Frequency&) const = default;

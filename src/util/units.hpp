@@ -44,8 +44,12 @@ class Bandwidth {
     assert(bps_ > 0);
     // ps = bytes * 1e12 / bps, with a 128-bit intermediate so multi-GiB
     // transfers cannot overflow.
-    const auto ps = static_cast<i128>(bytes) * 1'000'000'000'000 / bps_;
-    return Time::ps(static_cast<i64>(ps));
+    if (bytes > static_cast<u64>(INT64_MAX)) {
+      const auto ps = static_cast<i128>(bytes) * 1'000'000'000'000 / bps_;
+      return Time::ps(static_cast<i64>(ps));
+    }
+    return Time::ps(
+        detail::muldiv(static_cast<i64>(bytes), 1'000'000'000'000, bps_));
   }
 
   constexpr bool is_unlimited() const { return bps_ <= 0; }

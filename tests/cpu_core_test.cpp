@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "cpu/cpu_system.hpp"
@@ -13,10 +14,14 @@ constexpr Frequency kFreq = Frequency::ghz(1.0);  // 1 cycle == 1 ns
 
 WorkItem burst(Priority prio, i64 cycles, std::function<void(Time)> done,
                const char* tag = "t") {
-  return WorkItem{.prio = prio,
-                  .cost = [cycles](Time) { return Cycles{cycles}; },
-                  .on_complete = std::move(done),
-                  .tag = tag};
+  WorkItem item{.prio = prio,
+                .cost = [cycles](Time) { return Cycles{cycles}; },
+                .on_complete = nullptr,
+                .tag = tag};
+  // WorkItem's SmallFunction must stay empty when no completion is wanted —
+  // wrapping an empty std::function would make it look callable.
+  if (done) item.on_complete = std::move(done);
+  return item;
 }
 
 TEST(Core, RunsSubmittedWork) {

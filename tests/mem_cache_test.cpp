@@ -90,6 +90,75 @@ TEST(Cache, ConfigDerivedQuantities) {
   EXPECT_EQ(paper.num_sets(), 512u);
 }
 
+TEST(Cache, ProbeRunConsumesLeadingHitsOnly) {
+  Cache c(tiny_cache());  // 4 sets x 2 ways
+  c.insert(0, false);
+  c.insert(1, false);
+  c.insert(2, false);
+  // Lines 0..2 resident, line 3 absent: the run stops there.
+  EXPECT_EQ(c.probe_run(0, 8, false), 3u);
+  // From an absent line, the run is empty.
+  EXPECT_EQ(c.probe_run(3, 4, false), 0u);
+}
+
+TEST(Cache, ProbeRunWrapsAroundTheSetArray) {
+  Cache c(tiny_cache());  // 4 sets: lines 2,3,4,5 span the set wrap at 4.
+  for (LineAddr line = 2; line <= 5; ++line) c.insert(line, false);
+  EXPECT_EQ(c.probe_run(2, 4, false), 4u);
+}
+
+TEST(Cache, ProbeRunMarksDirtyOnHits) {
+  Cache c(tiny_cache());
+  c.insert(0, false);
+  c.insert(1, false);
+  EXPECT_FALSE(c.is_dirty(0));
+  EXPECT_EQ(c.probe_run(0, 2, true), 2u);
+  EXPECT_TRUE(c.is_dirty(0));
+  EXPECT_TRUE(c.is_dirty(1));
+}
+
+TEST(Cache, ProbeRunReportsMissVictim) {
+  Cache c(tiny_cache());  // 2 ways per set
+  c.insert(0, false);     // set 0
+  c.insert(4, true);      // set 0, both ways now full
+  c.probe(4);             // make line 4 the more recent way
+  Cache::PendingInsert pending;
+  EXPECT_EQ(c.probe_run(8, 1, false, &pending), 0u);  // set 0, absent
+  ASSERT_TRUE(pending.evicted.has_value());
+  EXPECT_EQ(pending.evicted->line, 0u);  // LRU victim
+  EXPECT_FALSE(pending.evicted->dirty);
+  // Committing behaves exactly like insert() of the missing line.
+  c.commit_insert(pending, 8, false);
+  EXPECT_TRUE(c.contains(8));
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(Cache, ProbeRunVictimPrefersInvalidWay) {
+  Cache c(tiny_cache());
+  c.insert(0, false);  // set 0, one way still invalid
+  Cache::PendingInsert pending;
+  EXPECT_EQ(c.probe_run(4, 1, false, &pending), 0u);
+  EXPECT_FALSE(pending.evicted.has_value());  // fills the empty way
+  c.commit_insert(pending, 4, false);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(c.resident_lines(), 2u);
+}
+
+TEST(Cache, ConstLookupsDoNotDisturbLru) {
+  Cache c(tiny_cache());
+  c.insert(0, false);
+  c.insert(4, false);  // set 0 full; 0 is LRU
+  const Cache& cc = c;
+  // Read-only queries on the LRU line must not refresh it.
+  EXPECT_TRUE(cc.contains(0));
+  EXPECT_FALSE(cc.is_dirty(0));
+  const auto evicted = c.insert(8, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, 0u);
+}
+
 TEST(AddressSpace, DisjointLineAlignedRanges) {
   AddressSpace as(64);
   const auto a = as.allocate(100);

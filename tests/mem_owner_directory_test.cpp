@@ -1,0 +1,109 @@
+#include "mem/owner_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+namespace saisim::mem {
+namespace {
+
+TEST(OwnerDirectory, FindOnEmptyReturnsNoCore) {
+  OwnerDirectory dir;
+  EXPECT_EQ(dir.find(0), kNoCore);
+  EXPECT_EQ(dir.find(12345), kNoCore);
+  EXPECT_EQ(dir.size(), 0u);
+}
+
+TEST(OwnerDirectory, AssignReportsPreviousOwner) {
+  OwnerDirectory dir;
+  EXPECT_EQ(dir.assign(7, 0), kNoCore);  // fresh insert
+  EXPECT_EQ(dir.find(7), 0);
+  EXPECT_EQ(dir.assign(7, 3), 0);  // ownership move reports old owner
+  EXPECT_EQ(dir.find(7), 3);
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(OwnerDirectory, EraseReportsOwnerAndAbsence) {
+  OwnerDirectory dir;
+  dir.assign(42, 5);
+  EXPECT_EQ(dir.erase(42), 5);
+  EXPECT_EQ(dir.find(42), kNoCore);
+  EXPECT_EQ(dir.erase(42), kNoCore);  // already gone
+  EXPECT_EQ(dir.size(), 0u);
+}
+
+TEST(OwnerDirectory, OwnerZeroIsDistinctFromEmpty) {
+  // Core 0 is a valid owner; the empty-slot encoding must not alias it.
+  OwnerDirectory dir;
+  dir.assign(1, 0);
+  EXPECT_EQ(dir.find(1), 0);
+  EXPECT_EQ(dir.erase(1), 0);
+}
+
+TEST(OwnerDirectory, GrowsPastInitialCapacityWithoutLosingEntries) {
+  OwnerDirectory dir(8);  // deliberately undersized
+  const u64 initial_cap = dir.capacity();
+  for (LineAddr line = 0; line < 1000; ++line) {
+    dir.assign(line, static_cast<CoreId>(line % 7));
+  }
+  EXPECT_GT(dir.capacity(), initial_cap);
+  EXPECT_EQ(dir.size(), 1000u);
+  for (LineAddr line = 0; line < 1000; ++line) {
+    EXPECT_EQ(dir.find(line), static_cast<CoreId>(line % 7));
+  }
+}
+
+// Backward-shift deletion: erasing from the middle of a probe chain must
+// keep every displaced entry reachable. Sequential lines hash to spread
+// slots, so force collisions by filling a small table densely and erasing
+// in a pattern that punches holes in the middle of chains.
+TEST(OwnerDirectory, BackshiftDeletionKeepsCollisionChainsReachable) {
+  OwnerDirectory dir(8);
+  // Fill to just under the growth threshold repeatedly, erasing odd lines
+  // between waves; any tombstone-style bug or bad shift condition breaks
+  // lookups of the survivors.
+  std::unordered_map<LineAddr, CoreId> model;
+  u64 next_line = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      const LineAddr line = next_line++;
+      const CoreId owner = static_cast<CoreId>(line % 5);
+      dir.assign(line, owner);
+      model[line] = owner;
+    }
+    // Erase a mid-chain selection.
+    std::vector<LineAddr> doomed;
+    for (const auto& [line, owner] : model) {
+      if (line % 3 == static_cast<u64>(wave % 3)) doomed.push_back(line);
+    }
+    for (const LineAddr line : doomed) {
+      EXPECT_EQ(dir.erase(line), model[line]);
+      model.erase(line);
+    }
+    for (const auto& [line, owner] : model) {
+      ASSERT_EQ(dir.find(line), owner) << "line " << line << " lost in wave "
+                                       << wave;
+    }
+  }
+  EXPECT_EQ(dir.size(), model.size());
+}
+
+// Adjacent lines (the common access pattern) plus far-apart aliases that
+// collide after hashing: erase the chain head and verify the rest shift in.
+TEST(OwnerDirectory, EraseHeadOfChainThenReassign) {
+  OwnerDirectory dir(8);
+  for (LineAddr line = 0; line < 12; ++line) dir.assign(line, 1);
+  for (LineAddr line = 0; line < 12; line += 2) dir.erase(line);
+  for (LineAddr line = 1; line < 12; line += 2) {
+    EXPECT_EQ(dir.find(line), 1);
+  }
+  // Reinsert into the holes and re-check everything.
+  for (LineAddr line = 0; line < 12; line += 2) dir.assign(line, 2);
+  for (LineAddr line = 0; line < 12; ++line) {
+    EXPECT_EQ(dir.find(line), line % 2 == 0 ? 2 : 1);
+  }
+}
+
+}  // namespace
+}  // namespace saisim::mem

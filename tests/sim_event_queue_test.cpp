@@ -71,6 +71,35 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_TRUE(q.empty());
 }
 
+// Perf regression guard: cancellation must be O(1) per cancel, not a scan
+// of a side set on every pop. Each cancelled slot is discarded at most once
+// when it surfaces at the heap root, so the total skip work across the
+// whole run is bounded by the number of cancels — if a future change
+// reintroduces a per-pop scan of cancelled entries, this blows up
+// quadratically and the bound fails.
+TEST(EventQueue, CancellationSkipWorkIsBoundedByCancelCount) {
+  EventQueue q;
+  constexpr int kEvents = 10'000;
+  std::vector<EventHandle> handles;
+  handles.reserve(kEvents);
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i)
+    handles.push_back(q.schedule(Time::ns(i), [&] { ++fired; }));
+  // Cancel every event except each 8th, front-loaded the way a retimed
+  // timeout wave would be.
+  u64 cancelled = 0;
+  for (u64 i = 0; i < handles.size(); ++i) {
+    if (i % 8 != 0) {
+      q.cancel(handles[i]);
+      ++cancelled;
+    }
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, kEvents / 8);
+  // Each cancelled slot costs at most one root discard, ever.
+  EXPECT_LE(q.cancelled_skips(), cancelled);
+}
+
 TEST(EventQueue, ManyInterleavedCancellations) {
   EventQueue q;
   std::vector<EventHandle> handles;
