@@ -12,12 +12,9 @@ const sweep::SweepResult& results() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-migration-cost",
                           bench::figure_config(3.0, 16, 1ull << 20));
-    spec.axis("c2c_cycles",
-              std::vector<i64>{15, 100, 250, 500, 1000, 2000},
-              [](i64 c) { return std::to_string(c); },
-              [](ExperimentConfig& cfg, i64 c) {
-                cfg.client.timings.c2c_transfer = Cycles{c};
-              })
+    spec.axis(sweep::make_field_axis(
+                  "c2c_cycles", "client.timings.c2c_transfer",
+                  std::vector<i64>{15, 100, 250, 500, 1000, 2000}))
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();

@@ -34,14 +34,14 @@ const sweep::SweepResult& policies_sweep() {
 const sweep::SweepResult& write_sweep() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-write-control", base_config());
-    spec.axis("workload",
-              std::vector<workload::IorMode>{workload::IorMode::kRead,
-                                             workload::IorMode::kWrite},
-              [](workload::IorMode m) {
-                return std::string(m == workload::IorMode::kRead ? "read"
-                                                                 : "write");
-              },
-              [](ExperimentConfig& c, workload::IorMode m) { c.ior.mode = m; })
+    // Enum axes set by name; the mutator goes through the same reflected
+    // channel as `--set ior.mode=write`.
+    spec.axis("workload", std::vector<std::string>{"read", "write"},
+              [](const std::string& m) { return m; },
+              [](ExperimentConfig& c, const std::string& m) {
+                const auto st = util::reflect::set_field(c, "ior.mode", m);
+                SAISIM_CHECK_MSG(st.ok(), st.message.c_str());
+              })
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();
@@ -52,15 +52,14 @@ const sweep::SweepResult& migration_sweep() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-stale-hints",
                           bench::figure_config(3.0, 16, 512ull << 10));
-    spec.axis("migration_prob", std::vector<double>{0.0, 0.01, 0.1, 0.5},
-              [](double p) {
-                char buf[32];
-                std::snprintf(buf, sizeof buf, "%g", p);
-                return std::string(buf);
-              },
-              [](ExperimentConfig& c, double p) {
-                c.ior.wake_migration_probability = p;
-              })
+    spec.axis(sweep::make_field_axis(
+                  "migration_prob", "ior.wake_migration_probability",
+                  std::vector<double>{0.0, 0.01, 0.1, 0.5},
+                  [](double p) {
+                    char buf[32];
+                    std::snprintf(buf, sizeof buf, "%g", p);
+                    return std::string(buf);
+                  }))
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();
@@ -70,17 +69,11 @@ const sweep::SweepResult& migration_sweep() {
 const sweep::SweepResult& pattern_sweep() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-access-pattern", base_config());
-    spec.axis("pattern",
-              std::vector<workload::AccessPattern>{
-                  workload::AccessPattern::kSequential,
-                  workload::AccessPattern::kRandom},
-              [](workload::AccessPattern p) {
-                return std::string(p == workload::AccessPattern::kSequential
-                                       ? "sequential"
-                                       : "random");
-              },
-              [](ExperimentConfig& c, workload::AccessPattern p) {
-                c.ior.pattern = p;
+    spec.axis("pattern", std::vector<std::string>{"sequential", "random"},
+              [](const std::string& p) { return p; },
+              [](ExperimentConfig& c, const std::string& p) {
+                const auto st = util::reflect::set_field(c, "ior.pattern", p);
+                SAISIM_CHECK_MSG(st.ok(), st.message.c_str());
               })
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);

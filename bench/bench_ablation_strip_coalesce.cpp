@@ -16,11 +16,11 @@ ExperimentConfig base_config() {
 const sweep::SweepResult& strip_sweep() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-strip-size", base_config());
-    spec.axis("strip_KiB",
-              std::vector<u64>{16ull << 10, 32ull << 10, 64ull << 10,
-                               128ull << 10, 256ull << 10},
-              [](u64 s) { return std::to_string(s >> 10); },
-              [](ExperimentConfig& c, u64 s) { c.strip_size = s; })
+    spec.axis(sweep::make_field_axis(
+                  "strip_KiB", "strip_size",
+                  std::vector<u64>{16ull << 10, 32ull << 10, 64ull << 10,
+                                   128ull << 10, 256ull << 10},
+                  [](u64 s) { return std::to_string(s >> 10); }))
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();
@@ -30,9 +30,9 @@ const sweep::SweepResult& strip_sweep() {
 const sweep::SweepResult& coalesce_sweep() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-coalesce", base_config());
-    spec.axis("coalesce_count", std::vector<int>{1, 2, 4, 8, 16},
-              [](int k) { return std::to_string(k); },
-              [](ExperimentConfig& c, int k) { c.client.nic.coalesce_count = k; })
+    spec.axis(sweep::make_field_axis("coalesce_count",
+                                     "client.nic.coalesce_count",
+                                     std::vector<int>{1, 2, 4, 8, 16}))
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();
@@ -42,14 +42,13 @@ const sweep::SweepResult& coalesce_sweep() {
 const sweep::SweepResult& copy_sweep() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("ablation-copy-overlap", base_config());
-    spec.axis("copy_mode", std::vector<bool>{false, true},
-              [](bool incremental) {
-                return std::string(incremental ? "incremental (T_O ~ T_M)"
-                                               : "at-consume (T_O = 0)");
-              },
-              [](ExperimentConfig& c, bool incremental) {
-                c.ior.incremental_copy = incremental;
-              })
+    spec.axis(sweep::make_field_axis(
+                  "copy_mode", "ior.incremental_copy",
+                  std::vector<bool>{false, true},
+                  [](bool incremental) {
+                    return std::string(incremental ? "incremental (T_O ~ T_M)"
+                                                   : "at-consume (T_O = 0)");
+                  }))
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();

@@ -42,9 +42,7 @@ ExperimentConfig multiclient_config(int clients) {
 const sweep::SweepResult& results() {
   static const sweep::SweepResult res = [] {
     sweep::SweepSpec spec("fig12-multiclient", multiclient_config(4));
-    spec.axis("clients", client_grid(),
-              [](int c) { return std::to_string(c); },
-              [](ExperimentConfig& cfg, int c) { cfg.num_clients = c; })
+    spec.axis(sweep::make_field_axis("clients", "num_clients", client_grid()))
         .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
     return bench::runner().run(spec);
   }();

@@ -7,7 +7,10 @@
 //
 // The memsim layer has its own config type, so this binary uses the sweep
 // engine's parallel_map directly instead of a SweepSpec; it still honours
-// --threads / --format / --no-progress.
+// --threads / --format / --no-progress, plus the reflected
+// --config / --set / --dump-config flags. Both placements of every pair
+// count go through a fingerprint-keyed ResultCache shared with the
+// google-benchmark phase, so nothing is ever simulated twice.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -18,7 +21,9 @@
 #include "memsim/memsim.hpp"
 #include "stats/table.hpp"
 #include "sweep/cli.hpp"
+#include "sweep/cli_config.hpp"
 #include "sweep/parallel.hpp"
+#include "sweep/result_cache.hpp"
 
 using namespace saisim;
 
@@ -29,36 +34,63 @@ sweep::CliOptions& cli() {
   return opts;
 }
 
+/// Process-wide memsim result cache, keyed by the reflected fingerprint.
+sweep::ResultCache<memsim::MemsimConfig, memsim::MemsimResult>& cache() {
+  static sweep::ResultCache<memsim::MemsimConfig, memsim::MemsimResult> c;
+  return c;
+}
+
+memsim::MemsimResult cached_run(const memsim::MemsimConfig& cfg) {
+  return cache().get_or_run(cfg, memsim::run_memsim);
+}
+
 const std::vector<int>& pair_grid() {
   static const std::vector<int> g{1, 2, 4, 6, 7, 8, 10, 12, 16};
   return g;
 }
 
+/// The --config/--set-resolved base, computed once on the main thread
+/// (resolve_config may print --dump-config output and exit).
+const memsim::MemsimConfig& base_config() {
+  static const memsim::MemsimConfig resolved = [] {
+    memsim::MemsimConfig cfg;
+    sweep::resolve_config(cli(), cfg);
+    return cfg;
+  }();
+  return resolved;
+}
+
 memsim::MemsimConfig config(int pairs) {
-  memsim::MemsimConfig cfg;
+  memsim::MemsimConfig cfg = base_config();
   cfg.num_pairs = pairs;
   return cfg;
 }
 
 const std::vector<std::pair<int, memsim::MemsimComparison>>& results() {
-  static const std::vector<std::pair<int, memsim::MemsimComparison>> cache =
+  static const std::vector<std::pair<int, memsim::MemsimComparison>> table =
       [] {
         sweep::ParallelOptions opts;
         opts.threads = cli().threads;
         opts.progress = cli().progress;
         opts.label = "fig14-memsim";
-        std::vector<memsim::MemsimComparison> cmp = sweep::parallel_map(
-            pair_grid().size(), opts, [](u64 i) {
-              return memsim::compare_memsim(
-                  config(pair_grid()[i]));
+        // One parallel task per (pair count, placement): both results come
+        // from the shared cache, so the benchmark phase below is free.
+        const u64 n = pair_grid().size();
+        std::vector<memsim::MemsimResult> runs =
+            sweep::parallel_map(2 * n, opts, [n](u64 i) {
+              memsim::MemsimConfig cfg = config(pair_grid()[i % n]);
+              cfg.source_aware = i >= n;
+              return cached_run(cfg);
             });
         std::vector<std::pair<int, memsim::MemsimComparison>> out;
-        for (u64 i = 0; i < cmp.size(); ++i) {
-          out.emplace_back(pair_grid()[i], std::move(cmp[i]));
+        for (u64 i = 0; i < n; ++i) {
+          out.emplace_back(pair_grid()[i],
+                           memsim::make_memsim_comparison(
+                               std::move(runs[i]), std::move(runs[i + n])));
         }
         return out;
       }();
-  return cache;
+  return table;
 }
 
 stats::Table machine_table() {
@@ -77,6 +109,7 @@ stats::Table machine_table() {
 
 int main(int argc, char** argv) {
   cli() = sweep::parse_cli(&argc, argv);
+  base_config();  // resolve --config/--set (and --dump-config) up front
   benchmark::Initialize(&argc, argv);
 
   if (cli().machine_output()) {
@@ -128,7 +161,7 @@ int main(int argc, char** argv) {
             for (auto _ : state) {
               memsim::MemsimConfig cfg = config(pairs);
               cfg.source_aware = sa;
-              r = memsim::run_memsim(cfg);
+              r = cached_run(cfg);
             }
             state.counters["bandwidth_MBps"] = r.bandwidth_mbps;
             state.counters["l2_miss_pct"] = r.l2_miss_rate * 100.0;

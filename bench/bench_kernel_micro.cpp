@@ -13,10 +13,34 @@
 #include "core/experiment.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/event_queue.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/cli_config.hpp"
 #include "util/rng.hpp"
 
 namespace saisim {
 namespace {
+
+sweep::CliOptions& cli() {
+  static sweep::CliOptions opts;
+  return opts;
+}
+
+/// The end-to-end case's config, with the shared --config/--set/
+/// --dump-config flags applied on top (the data-structure microbenches
+/// take no config).
+const ExperimentConfig& small_config() {
+  static const ExperimentConfig resolved = [] {
+    ExperimentConfig cfg;
+    cfg.num_servers = 8;
+    cfg.client.nic_bandwidth = Bandwidth::gbit(1.0);
+    cfg.client.nic.queues = 1;
+    cfg.ior.transfer_size = 128ull << 10;
+    cfg.ior.total_bytes = 2ull << 20;
+    sweep::resolve_config(cli(), cfg);
+    return cfg;
+  }();
+  return resolved;
+}
 
 constexpr Frequency kFreq = Frequency::ghz(2.7);
 constexpr u64 kLine = 64;
@@ -155,13 +179,7 @@ BENCHMARK(BM_EventScheduleCancelPop);
 /// point pays.
 void BM_ExperimentSmall(benchmark::State& state) {
   for (auto _ : state) {
-    ExperimentConfig cfg;
-    cfg.num_servers = 8;
-    cfg.client.nic_bandwidth = Bandwidth::gbit(1.0);
-    cfg.client.nic.queues = 1;
-    cfg.ior.transfer_size = 128ull << 10;
-    cfg.ior.total_bytes = 2ull << 20;
-    const RunMetrics m = run_experiment(cfg);
+    const RunMetrics m = run_experiment(small_config());
     benchmark::DoNotOptimize(m.bandwidth_mbps);
   }
 }
@@ -170,4 +188,12 @@ BENCHMARK(BM_ExperimentSmall)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace saisim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  saisim::cli() = saisim::sweep::parse_cli(&argc, argv);
+  saisim::small_config();  // resolve --config/--set/--dump-config up front
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,23 +2,43 @@
 // strips through memory on the *host* machine, pinned to one core
 // (Si-SAIs) or split across cores (Si-Irqbalance). Numbers depend on the
 // host; the interesting output is the same-core/split-core ratio.
+//
+// Accepts the shared sweep CLI (--set path=value, --config=FILE,
+// --dump-config) on top of the bench defaults; the pairs/same_core axes
+// below still own their fields.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "realmem/real_memsim.hpp"
 #include "stats/table.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/cli_config.hpp"
 
 using namespace saisim;
 
 namespace {
 
+sweep::CliOptions& cli() {
+  static sweep::CliOptions opts;
+  return opts;
+}
+
+const realmem::RealMemConfig& base_config() {
+  static const realmem::RealMemConfig resolved = [] {
+    realmem::RealMemConfig cfg;
+    cfg.bytes_per_pair = 128ull << 20;
+    cfg.ram_disk_bytes = 32ull << 20;
+    sweep::resolve_config(cli(), cfg);
+    return cfg;
+  }();
+  return resolved;
+}
+
 realmem::RealMemConfig config(int pairs, bool same_core) {
-  realmem::RealMemConfig cfg;
+  realmem::RealMemConfig cfg = base_config();
   cfg.num_pairs = pairs;
   cfg.pin_same_core = same_core;
-  cfg.bytes_per_pair = 128ull << 20;
-  cfg.ram_disk_bytes = 32ull << 20;
   return cfg;
 }
 
@@ -43,6 +63,8 @@ BENCHMARK(RealMem)
     ->ArgNames({"pairs", "same_core"});
 
 int main(int argc, char** argv) {
+  cli() = sweep::parse_cli(&argc, argv);
+  base_config();  // resolve --config/--set (and --dump-config) up front
   std::printf(
       "\n=== Real-thread memory harness (host-dependent; checksum-verified "
       "pipeline) ===\n");

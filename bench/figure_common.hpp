@@ -12,6 +12,12 @@
 //   --threads=N   worker threads for the sweep (default: hardware)
 //   --format=FMT  text (default) | csv | json
 //   --no-progress suppress the stderr progress line
+//   --config=FILE / --set path=value / --dump-config
+//                 reflected config plumbing (sweep/cli_config.hpp): every
+//                 figure_config() resolves the file and overrides on top of
+//                 the figure defaults, so any grid can be replayed from a
+//                 dumped JSON or nudged one field at a time. Sweep axes are
+//                 applied after resolution — an axis still owns its field.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -43,8 +49,17 @@ inline std::string transfer_name(u64 bytes) {
   return std::to_string(bytes >> 10) + "K";
 }
 
+/// Sweep CLI options shared by every figure binary (set by figure_init).
+inline sweep::CliOptions& cli() {
+  static sweep::CliOptions opts;
+  return opts;
+}
+
 /// Baseline experiment configuration for the single-client figures.
-/// `gbit` selects the 1-Gigabit or bonded 3-Gigabit client NIC.
+/// `gbit` selects the 1-Gigabit or bonded 3-Gigabit client NIC. The shared
+/// CLI's --config/--set land on top of these defaults (and --dump-config
+/// prints the result and exits), so every figure binary is replayable with
+/// no per-binary plumbing.
 inline ExperimentConfig figure_config(double gbit, int servers, u64 transfer,
                                       u64 bytes_per_proc = 8ull << 20) {
   ExperimentConfig cfg;
@@ -53,13 +68,8 @@ inline ExperimentConfig figure_config(double gbit, int servers, u64 transfer,
   cfg.client.nic.queues = gbit > 1.5 ? 3 : 1;
   cfg.ior.transfer_size = transfer;
   cfg.ior.total_bytes = bytes_per_proc;
+  sweep::resolve_config(cli(), cfg);
   return cfg;
-}
-
-/// Sweep CLI options shared by every figure binary (set by figure_init).
-inline sweep::CliOptions& cli() {
-  static sweep::CliOptions opts;
-  return opts;
 }
 
 /// Process-wide runner. Its fingerprint-keyed cache means the table phase
@@ -88,11 +98,9 @@ inline sweep::SweepSpec figure_grid_spec(double gbit,
       gbit > 1.5 ? "grid-3g" : "grid-1g",
       figure_config(gbit, server_grid().front(), transfer_grid().front(),
                     bytes_per_proc));
-  spec.axis("servers", server_grid(),
-            [](int s) { return std::to_string(s); },
-            [](ExperimentConfig& c, int s) { c.num_servers = s; })
-      .axis("transfer", transfer_grid(), transfer_name,
-            [](ExperimentConfig& c, u64 t) { c.ior.transfer_size = t; })
+  spec.axis(sweep::make_field_axis("servers", "num_servers", server_grid()))
+      .axis(sweep::make_field_axis("transfer", "ior.transfer_size",
+                                   transfer_grid(), transfer_name))
       .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
   return spec;
 }
@@ -164,8 +172,13 @@ inline void register_grid_benchmarks(const char* prefix, double gbit) {
             [gbit, servers, transfer, policy](benchmark::State& state) {
               RunMetrics m;
               for (auto _ : state) {
-                ExperimentConfig cfg =
-                    figure_config(gbit, servers, transfer, 4ull << 20);
+                // Grid fields land after resolve_config, mirroring the
+                // table phase where sweep axes apply after --set.
+                ExperimentConfig cfg = figure_config(
+                    gbit, server_grid().front(), transfer_grid().front(),
+                    4ull << 20);
+                cfg.num_servers = servers;
+                cfg.ior.transfer_size = transfer;
                 cfg.policy = policy;
                 m = runner().run_config(cfg);
               }

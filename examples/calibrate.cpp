@@ -4,6 +4,7 @@
 //
 //   $ ./calibrate [per_proc_bytes [c2c_cycles [compute_centicycles]]]
 //                 [--threads=N] [--format=text|csv|json] [--no-progress]
+//                 [--config=FILE] [--set path=value] [--dump-config]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,6 +27,9 @@ int main(int argc, char** argv) {
   base.procs_per_client = 4;
   if (c2c > 0) base.client.timings.c2c_transfer = Cycles{c2c};
   if (compute > 0) base.ior.compute_centicycles_per_byte = compute;
+  // --config/--set land on top of the positional knobs; --dump-config
+  // prints the resolved base and exits.
+  sweep::resolve_config(cli, base);
 
   sweep::SweepSpec spec("calibrate", base);
   spec.axis("nic", std::vector<double>{1.0, 3.0},
@@ -34,14 +38,13 @@ int main(int argc, char** argv) {
               c.client.nic_bandwidth = Bandwidth::gbit(gbit);
               c.client.nic.queues = gbit > 1.5 ? 3 : 1;
             })
-      .axis("servers", std::vector<int>{8, 16, 32, 48},
-            [](int s) { return std::to_string(s); },
-            [](ExperimentConfig& c, int s) { c.num_servers = s; })
-      .axis("xfer",
-            std::vector<u64>{128ull << 10, 512ull << 10, 1ull << 20,
-                             2ull << 20},
-            [](u64 x) { return std::to_string(x >> 10) + "K"; },
-            [](ExperimentConfig& c, u64 x) { c.ior.transfer_size = x; })
+      .axis(sweep::make_field_axis("servers", "num_servers",
+                                   std::vector<int>{8, 16, 32, 48}))
+      .axis(sweep::make_field_axis(
+          "xfer", "ior.transfer_size",
+          std::vector<u64>{128ull << 10, 512ull << 10, 1ull << 20,
+                           2ull << 20},
+          [](u64 x) { return std::to_string(x >> 10) + "K"; }))
       .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
 
   sweep::SweepRunner runner(

@@ -3,14 +3,19 @@
 //
 //   $ ./ior_cluster [servers] [transfer_KiB] [nic_gbit] [policy] [procs]
 //   $ ./ior_cluster 48 2048 3 source-aware 4
+//   $ ./ior_cluster --set ior.pattern=random --set seed=7
 //
 // Policies: round-robin | dedicated | irqbalance | irqbalance-epoch |
 //           source-aware
+// Also accepts the shared --config=FILE / --set path=value / --dump-config
+// flags; they apply on top of the positional arguments.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "core/experiment.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/cli_config.hpp"
 
 using namespace saisim;
 
@@ -30,6 +35,7 @@ PolicyKind parse_policy(const char* s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const sweep::CliOptions cli = sweep::parse_cli(&argc, argv);
   ExperimentConfig cfg;
   cfg.num_servers = argc > 1 ? std::atoi(argv[1]) : 16;
   cfg.ior.transfer_size =
@@ -40,6 +46,7 @@ int main(int argc, char** argv) {
   cfg.policy = argc > 4 ? parse_policy(argv[4]) : PolicyKind::kSourceAware;
   cfg.procs_per_client = argc > 5 ? std::atoi(argv[5]) : 4;
   cfg.ior.total_bytes = 16ull << 20;
+  sweep::resolve_config(cli, cfg);  // --config/--set/--dump-config
 
   std::printf(
       "cluster: %d I/O servers (64 KiB strips), %d-core client @2.7 GHz, "

@@ -5,20 +5,28 @@
 //      pinned same-core vs split-core), checksum-verified.
 //
 //   $ ./memory_pipeline [pairs]
+//   $ ./memory_pipeline --set duration=30000000000 --dump-config
+//
+// The shared --config/--set/--dump-config flags act on the *simulated*
+// MemsimConfig; the real-thread harness keeps its fixed setup.
 #include <cstdio>
 #include <cstdlib>
 
 #include "memsim/memsim.hpp"
 #include "realmem/real_memsim.hpp"
+#include "sweep/cli.hpp"
+#include "sweep/cli_config.hpp"
 
 using namespace saisim;
 
 int main(int argc, char** argv) {
+  const sweep::CliOptions cli = sweep::parse_cli(&argc, argv);
   const int pairs = argc > 1 ? std::atoi(argv[1]) : 4;
 
   std::printf("--- simulated (paper testbed: 8x2.7 GHz, DDR2-667) ---\n");
   memsim::MemsimConfig sim_cfg;
   sim_cfg.num_pairs = pairs;
+  sweep::resolve_config(cli, sim_cfg);
   const auto sim = memsim::compare_memsim(sim_cfg);
   std::printf("Si-Irqbalance: %7.0f MB/s  (miss %.1f%%, util %.1f%%)\n",
               sim.irqbalance.bandwidth_mbps,

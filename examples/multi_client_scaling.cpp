@@ -27,11 +27,10 @@ int main(int argc, char** argv) {
   base.num_servers = 8;
   base.ior.transfer_size = 1ull << 20;
   base.ior.total_bytes = 4ull << 20;
+  sweep::resolve_config(cli, base);  // --config/--set/--dump-config
 
   sweep::SweepSpec spec("multi-client-scaling", base);
-  spec.axis("clients", client_grid,
-            [](int c) { return std::to_string(c); },
-            [](ExperimentConfig& cfg, int c) { cfg.num_clients = c; })
+  spec.axis(sweep::make_field_axis("clients", "num_clients", client_grid))
       .policies({PolicyKind::kIrqbalance, PolicyKind::kSourceAware});
 
   sweep::SweepRunner runner(

@@ -3,13 +3,18 @@
 // paper evaluates.
 //
 //   $ ./quickstart
+//   $ ./quickstart --set num_servers=48 --set client.nic_bandwidth=375000000
+//   $ ./quickstart --dump-config > run.json   # then replay:
+//   $ ./quickstart --config=run.json
 #include <cstdio>
 
 #include "sweep/sweep.hpp"
 
 using namespace saisim;
 
-int main() {
+int main(int argc, char** argv) {
+  const sweep::CliOptions cli = sweep::parse_cli(&argc, argv);
+
   // A client with two quad-core 2.7 GHz Opterons and a bonded 3-Gigabit
   // NIC, reading from 16 PVFS I/O servers with 64 KiB strips — the paper's
   // §V.A testbed, scaled to a few seconds of simulated time.
@@ -20,6 +25,8 @@ int main() {
   cfg.ior.transfer_size = 1ull << 20;  // 1 MiB IOR transfers
   cfg.ior.total_bytes = 16ull << 20;   // per process
   cfg.procs_per_client = 4;
+  // Apply --config/--set on top, validate, honour --dump-config.
+  sweep::resolve_config(cli, cfg);
 
   std::printf("running %d IOR processes against %d PVFS servers...\n",
               cfg.procs_per_client, cfg.num_servers);

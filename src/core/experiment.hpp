@@ -13,6 +13,7 @@
 #include "net/nic.hpp"
 #include "pfs/io_server.hpp"
 #include "sais/sais_client.hpp"
+#include "util/reflect.hpp"
 #include "workload/background_load.hpp"
 #include "workload/ior_process.hpp"
 
@@ -57,6 +58,50 @@ struct ExperimentConfig {
   /// Safety net: abort the run if the workload has not drained by then.
   Time max_sim_time = Time::sec(600);
 };
+
+template <class V>
+void describe(V& v, ClientMachineConfig& c) {
+  namespace r = util::reflect;
+  // The Fig. 4 IP-options hint carries a 5-bit core id, so a SAIs client
+  // can address at most 32 cores (net::IpOptions::kMaxEncodableCore).
+  v.field("cores", c.cores, r::in_range(1, 32));
+  v.field("core_freq", c.core_freq, r::positive(), "Hz");
+  v.group("cache", c.cache);
+  v.group("timings", c.timings);
+  // 0 = unlimited DRAM (the kernel microbenches use it); NICs must have a
+  // finite rate because packet serialisation divides by it.
+  v.field("dram_bandwidth", c.dram_bandwidth, r::non_negative(), "B/s");
+  v.group("nic", c.nic);
+  v.field("nic_bandwidth", c.nic_bandwidth, r::positive(), "B/s");
+  v.field("user_quantum", c.user_quantum, r::positive());
+}
+
+template <class V>
+void describe(V& v, ServerMachineConfig& c) {
+  namespace r = util::reflect;
+  v.group("io", c.io);
+  v.field("nic_bandwidth", c.nic_bandwidth, r::positive(), "B/s");
+}
+
+template <class V>
+void describe(V& v, ExperimentConfig& c) {
+  namespace r = util::reflect;
+  v.field("num_clients", c.num_clients, r::in_range(1, 4096));
+  v.field("num_servers", c.num_servers, r::in_range(1, 4096));
+  v.field("strip_size", c.strip_size, r::pow2_at_least(512), "B");
+  v.group("client", c.client);
+  v.group("server", c.server);
+  v.group("ior", c.ior);
+  v.field("procs_per_client", c.procs_per_client, r::in_range(1, 1024));
+  v.field("policy", c.policy, r::EnumNames{kPolicyNames, kNumPolicyKinds});
+  v.group("background", c.background);
+  v.field("enable_background", c.enable_background);
+  v.field("switch_latency", c.switch_latency, r::non_negative());
+  v.field("link_latency", c.link_latency, r::non_negative());
+  v.field("metadata_service", c.metadata_service, r::non_negative());
+  v.field("seed", c.seed, r::non_negative());
+  v.field("max_sim_time", c.max_sim_time, r::positive());
+}
 
 /// Aggregate results of one run (all clients combined).
 struct RunMetrics {

@@ -19,17 +19,17 @@ enum class PolicyKind {
   kHybrid,           // future work: source-aware unless the core is congested
 };
 
+/// Indexed by PolicyKind; also the reflection layer's enum name table, so
+/// `--set policy=source-aware` and the JSON dump use these exact strings.
+inline constexpr const char* kPolicyNames[] = {
+    "round-robin",      "dedicated", "irqbalance", "irqbalance-epoch",
+    "flow-hash",        "source-aware", "hybrid",
+};
+inline constexpr int kNumPolicyKinds = 7;
+
 inline std::string_view policy_name(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kRoundRobin: return "round-robin";
-    case PolicyKind::kDedicated: return "dedicated";
-    case PolicyKind::kIrqbalance: return "irqbalance";
-    case PolicyKind::kIrqbalanceEpoch: return "irqbalance-epoch";
-    case PolicyKind::kFlowHash: return "flow-hash";
-    case PolicyKind::kSourceAware: return "source-aware";
-    case PolicyKind::kHybrid: return "hybrid";
-  }
-  return "?";
+  const int i = static_cast<int>(kind);
+  return i >= 0 && i < kNumPolicyKinds ? kPolicyNames[i] : "?";
 }
 
 inline std::unique_ptr<apic::InterruptRoutingPolicy> make_policy(

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/reflect.hpp"
 #include "util/types.hpp"
 
 namespace saisim::mem {
@@ -31,6 +32,22 @@ struct CacheConfig {
   u64 num_lines() const { return capacity_bytes / line_bytes; }
   u64 num_sets() const { return num_lines() / ways; }
 };
+
+template <class V>
+void describe(V& v, CacheConfig& c) {
+  namespace r = util::reflect;
+  v.field("capacity_bytes", c.capacity_bytes, r::pow2_at_least(1024), "B");
+  v.field("line_bytes", c.line_bytes, r::pow2_at_least(8), "B");
+  v.field("ways", c.ways, r::in_range(1, 64));
+  // The Cache constructor's geometry requirements (see below).
+  v.invariant(c.line_bytes > 0 && c.ways > 0 &&
+                  c.capacity_bytes % (c.line_bytes * c.ways) == 0,
+              "capacity_bytes must be a multiple of line_bytes * ways");
+  v.invariant(c.line_bytes == 0 || c.ways == 0 ||
+                  c.capacity_bytes % (c.line_bytes * c.ways) != 0 ||
+                  std::has_single_bit(c.num_sets()),
+              "capacity_bytes / (line_bytes * ways) must be a power of two");
+}
 
 /// A line address: byte address with the offset bits stripped.
 using LineAddr = u64;

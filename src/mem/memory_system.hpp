@@ -14,6 +14,7 @@
 #include "mem/address_space.hpp"
 #include "mem/cache.hpp"
 #include "mem/owner_directory.hpp"
+#include "util/reflect.hpp"
 #include "util/time.hpp"
 #include "util/units.hpp"
 
@@ -38,6 +39,16 @@ struct MemoryTimings {
   /// ceiling).
   u64 dram_burst_allowance = 256ull << 10;
 };
+
+template <class V>
+void describe(V& v, MemoryTimings& t) {
+  namespace r = util::reflect;
+  v.field("l2_hit", t.l2_hit, r::non_negative());
+  v.field("dram_access", t.dram_access, r::non_negative());
+  v.field("c2c_transfer", t.c2c_transfer, r::non_negative());
+  v.field("dram_burst_allowance", t.dram_burst_allowance, r::non_negative(),
+          "B");
+}
 
 struct CoreCacheStats {
   u64 accesses = 0;

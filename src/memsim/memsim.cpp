@@ -240,12 +240,11 @@ MemsimResult run_memsim(const MemsimConfig& cfg) {
   return r;
 }
 
-MemsimComparison compare_memsim(MemsimConfig cfg) {
+MemsimComparison make_memsim_comparison(MemsimResult irqbalance,
+                                        MemsimResult sais) {
   MemsimComparison out;
-  cfg.source_aware = false;
-  out.irqbalance = run_memsim(cfg);
-  cfg.source_aware = true;
-  out.sais = run_memsim(cfg);
+  out.irqbalance = std::move(irqbalance);
+  out.sais = std::move(sais);
   if (out.irqbalance.bandwidth_mbps > 0) {
     out.bandwidth_speedup_pct =
         (out.sais.bandwidth_mbps - out.irqbalance.bandwidth_mbps) /
@@ -257,6 +256,14 @@ MemsimComparison compare_memsim(MemsimConfig cfg) {
         out.irqbalance.l2_miss_rate * 100.0;
   }
   return out;
+}
+
+MemsimComparison compare_memsim(MemsimConfig cfg) {
+  cfg.source_aware = false;
+  MemsimResult irqbalance = run_memsim(cfg);
+  cfg.source_aware = true;
+  MemsimResult sais = run_memsim(cfg);
+  return make_memsim_comparison(std::move(irqbalance), std::move(sais));
 }
 
 }  // namespace saisim::memsim

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/cpu_system.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/simulation.hpp"
+#include "util/reflect.hpp"
 
 namespace saisim::memsim {
 
@@ -71,6 +73,42 @@ struct MemsimConfig {
   Time max_sim_time = Time::sec(300);
 };
 
+template <class V>
+void describe(V& v, MemsimConfig& c) {
+  namespace r = util::reflect;
+  v.field("num_cores", c.num_cores, r::in_range(1, 1024));
+  v.field("core_freq", c.core_freq, r::positive(), "Hz");
+  v.group("cache", c.cache);
+  v.group("timings", c.timings);
+  v.field("ram_disk_bandwidth", c.ram_disk_bandwidth, r::positive(), "B/s");
+  v.field("num_pairs", c.num_pairs, r::in_range(1, 4096));
+  v.field("strip_size", c.strip_size, r::pow2_at_least(512), "B");
+  v.field("transfer_size", c.transfer_size, r::positive(), "B");
+  v.field("bytes_per_pair", c.bytes_per_pair, r::positive(), "B");
+  v.field("warmup", c.warmup, r::non_negative());
+  v.field("duration", c.duration, r::positive());
+  v.field("reader_centicycles_per_byte", c.reader_centicycles_per_byte,
+          r::non_negative(), "centicycles");
+  v.field("combiner_centicycles_per_byte", c.combiner_centicycles_per_byte,
+          r::non_negative(), "centicycles");
+  v.field("combiner_reuse_per_line", c.combiner_reuse_per_line,
+          r::non_negative());
+  v.field("source_aware", c.source_aware);
+  v.field("ipc_copy_between_processes", c.ipc_copy_between_processes);
+  v.field("seed", c.seed, r::non_negative());
+  v.field("max_sim_time", c.max_sim_time, r::positive());
+  v.invariant(c.warmup < c.duration,
+              "the [warmup, duration] measurement window must be non-empty");
+  v.invariant(c.transfer_size >= c.strip_size,
+              "transfer_size must cover at least one strip");
+}
+
+/// Exact reflected fingerprint — the memsim result cache's key, with the
+/// same injectivity guarantees as the ExperimentConfig fingerprint.
+inline std::string config_fingerprint(const MemsimConfig& cfg) {
+  return util::reflect::fingerprint_of(cfg);
+}
+
 struct MemsimResult {
   double bandwidth_mbps = 0.0;
   double l2_miss_rate = 0.0;
@@ -91,5 +129,11 @@ struct MemsimComparison {
   double miss_rate_reduction_pct = 0.0;
 };
 MemsimComparison compare_memsim(MemsimConfig cfg);
+
+/// Derive the comparison percentages from two finished runs — split out so
+/// callers with their own execution path (e.g. the fig. 14 bench's
+/// fingerprint-keyed result cache) share the arithmetic.
+MemsimComparison make_memsim_comparison(MemsimResult irqbalance,
+                                        MemsimResult sais);
 
 }  // namespace saisim::memsim

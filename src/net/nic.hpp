@@ -15,6 +15,7 @@
 #include "apic/io_apic.hpp"
 #include "mem/memory_system.hpp"
 #include "net/network.hpp"
+#include "util/reflect.hpp"
 
 namespace saisim::net {
 
@@ -41,6 +42,20 @@ struct NicConfig {
   /// burst.
   Time coalesce_timeout = Time::us(50);
 };
+
+template <class V>
+void describe(V& v, NicConfig& c) {
+  namespace r = util::reflect;
+  v.field("queues", c.queues, r::in_range(1, 64));
+  v.field("ring_capacity", c.ring_capacity, r::positive(), "packets");
+  v.field("per_packet_cycles", c.per_packet_cycles, r::non_negative());
+  v.field("per_byte_centicycles", c.per_byte_centicycles, r::non_negative(),
+          "centicycles");
+  v.field("vector_base", c.vector_base, r::in_range(0, 255));
+  v.field("touch_reuse", c.touch_reuse, r::non_negative());
+  v.field("coalesce_count", c.coalesce_count, r::positive());
+  v.field("coalesce_timeout", c.coalesce_timeout, r::non_negative());
+}
 
 struct NicStats {
   u64 rx_messages = 0;

@@ -7,6 +7,7 @@
 #include "net/network.hpp"
 #include "sim/actor.hpp"
 #include "stats/summary.hpp"
+#include "util/reflect.hpp"
 #include "util/units.hpp"
 
 namespace saisim::pfs {
@@ -24,6 +25,17 @@ struct IoServerConfig {
   /// Fraction of reads served from the server's buffer cache (skip disk).
   double cache_hit_ratio = 0.0;
 };
+
+template <class V>
+void describe(V& v, IoServerConfig& c) {
+  namespace r = util::reflect;
+  // The disk serialises transfers through Bandwidth::transfer_time, which
+  // requires a finite (non-zero) rate.
+  v.field("disk_bandwidth", c.disk_bandwidth, r::positive(), "B/s");
+  v.field("disk_seek", c.disk_seek, r::non_negative());
+  v.field("request_service", c.request_service, r::non_negative());
+  v.field("cache_hit_ratio", c.cache_hit_ratio, r::unit_interval());
+}
 
 struct IoServerStats {
   u64 requests = 0;

@@ -8,6 +8,7 @@
 // correctness (checksums, accounting), not timing.
 #pragma once
 
+#include "util/reflect.hpp"
 #include "util/types.hpp"
 
 namespace saisim::realmem {
@@ -28,6 +29,23 @@ struct RealMemConfig {
   /// Ring slots per pair (double buffering and beyond).
   int ring_slots = 4;
 };
+
+template <class V>
+void describe(V& v, RealMemConfig& c) {
+  namespace r = util::reflect;
+  v.field("strip_size", c.strip_size, r::pow2_at_least(512), "B");
+  v.field("transfer_size", c.transfer_size, r::positive(), "B");
+  v.field("bytes_per_pair", c.bytes_per_pair, r::positive(), "B");
+  v.field("ram_disk_bytes", c.ram_disk_bytes, r::positive(), "B");
+  v.field("num_pairs", c.num_pairs, r::in_range(1, 1024));
+  v.field("pin_same_core", c.pin_same_core);
+  v.field("enable_pinning", c.enable_pinning);
+  v.field("ring_slots", c.ring_slots, r::in_range(1, 64));
+  v.invariant(c.transfer_size >= c.strip_size,
+              "transfer_size must cover at least one strip");
+  v.invariant(c.ram_disk_bytes >= c.transfer_size,
+              "ram_disk_bytes must cover at least one transfer");
+}
 
 struct RealMemResult {
   double bandwidth_mbps = 0.0;

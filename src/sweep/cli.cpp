@@ -18,7 +18,9 @@ namespace {
 }  // namespace
 
 const char* cli_usage() {
-  return "sweep options: --threads=N  --format=text|csv|json  --no-progress";
+  return "sweep options: --threads=N  --format=text|csv|json  --no-progress\n"
+         "               --config=FILE  --set dotted.path=value  "
+         "--dump-config";
 }
 
 CliOptions parse_cli(int* argc, char** argv) {
@@ -48,6 +50,23 @@ CliOptions parse_cli(int* argc, char** argv) {
       opts.progress = false;
     } else if (arg == "--progress") {
       opts.progress = true;
+    } else if (arg.rfind("--set=", 0) == 0) {
+      const std::string_view v = arg.substr(6);
+      if (v.find('=') == std::string_view::npos) {
+        bad_flag(argv[i], "--set dotted.path=value");
+      }
+      opts.overrides.emplace_back(v);
+    } else if (arg == "--set") {
+      if (i + 1 >= *argc ||
+          std::string_view(argv[i + 1]).find('=') == std::string_view::npos) {
+        bad_flag(argv[i], "--set dotted.path=value");
+      }
+      opts.overrides.emplace_back(argv[++i]);
+    } else if (arg.rfind("--config=", 0) == 0) {
+      if (arg.size() == 9) bad_flag(argv[i], "--config=FILE");
+      opts.config_file = arg.substr(9);
+    } else if (arg == "--dump-config") {
+      opts.dump_config = true;
     } else {
       argv[out++] = argv[i];
     }

@@ -6,9 +6,18 @@
 //                   per-grid-point RunMetrics on stdout and skip the
 //                   human-oriented tables
 //   --no-progress   suppress the stderr progress line
+//   --config=FILE   load the base config from a flat-key JSON dump
+//   --set P=V       override one described config field by dotted path
+//                   (repeatable; also accepted as --set=P=V)
+//   --dump-config   print the resolved base config as JSON and exit
 // `parse_cli` strips the flags it recognises from argv so the remainder
-// can be handed to google-benchmark untouched.
+// can be handed to google-benchmark untouched. The config flags are only
+// collected here; `resolve_config` (cli_config.hpp) applies them to a
+// concrete config type once the binary has built its defaults.
 #pragma once
+
+#include <string>
+#include <vector>
 
 #include "sweep/export.hpp"
 
@@ -18,6 +27,12 @@ struct CliOptions {
   int threads = 0;  // 0 = hardware concurrency
   Format format = Format::kText;
   bool progress = true;
+  /// "dotted.path=value" expressions from --set, in command-line order.
+  std::vector<std::string> overrides;
+  /// Flat-key JSON file from --config ("" = none).
+  std::string config_file;
+  /// --dump-config: print the resolved base config as JSON and exit 0.
+  bool dump_config = false;
 
   /// csv/json selected: the binary should print machine output only.
   bool machine_output() const { return format != Format::kText; }

@@ -1,0 +1,88 @@
+// Applies the shared CLI's config flags to a concrete reflected config.
+//
+// A binary builds its default config, parses flags with parse_cli, then
+// calls `resolve_config(cli, cfg)`:
+//
+//   sweep::CliOptions cli = sweep::parse_cli(&argc, argv);
+//   ExperimentConfig cfg = my_defaults();
+//   sweep::resolve_config(cli, cfg);  // --config, --set, --dump-config
+//
+// Resolution order: --config=FILE (flat-key JSON, applied on top of the
+// defaults) first, then each --set override in command-line order, then
+// full validation. Any error exits with status 2 naming the dotted path.
+// With --dump-config the resolved config is printed as JSON on stdout and
+// the process exits 0 — the printed file is itself a valid --config input,
+// which is what makes every bench replayable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/cli.hpp"
+#include "util/reflect_json.hpp"
+
+namespace saisim::sweep {
+
+/// Loads --config (if given) and applies every --set override to `cfg`,
+/// then validates. Returns all errors (empty = success) instead of
+/// exiting, for tests and callers with their own error handling.
+template <class Config>
+std::vector<std::string> apply_cli_config(const CliOptions& cli,
+                                          Config& cfg) {
+  namespace r = util::reflect;
+  std::vector<std::string> errors;
+  if (!cli.config_file.empty()) {
+    std::ifstream in(cli.config_file);
+    if (!in) {
+      errors.push_back("cannot open config file '" + cli.config_file + "'");
+      return errors;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    // config_from_json validates after applying the file's keys; later
+    // --set overrides re-validate below, so collect only its load errors.
+    const r::LoadResult loaded = r::config_from_json(cfg, text.str());
+    for (const std::string& e : loaded.errors) errors.push_back(e);
+    if (!errors.empty()) return errors;
+  }
+  for (const std::string& expr : cli.overrides) {
+    const auto eq = expr.find('=');
+    const r::SetStatus st = r::set_field(
+        cfg, std::string_view(expr).substr(0, eq),
+        eq == std::string::npos ? std::string_view{}
+                                : std::string_view(expr).substr(eq + 1));
+    if (!st.ok()) errors.push_back(st.message);
+  }
+  if (errors.empty()) {
+    for (std::string& e : r::validate_config(cfg)) {
+      errors.push_back(std::move(e));
+    }
+  }
+  return errors;
+}
+
+/// The standard front door: applies --config/--set to `cfg`, exiting 2
+/// with each error on stderr if anything is invalid, and handles
+/// --dump-config (print resolved config as JSON, exit 0).
+template <class Config>
+void resolve_config(const CliOptions& cli, Config& cfg) {
+  const std::vector<std::string> errors = apply_cli_config(cli, cfg);
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "saisim: config error: %s\n", e.c_str());
+    }
+    std::fprintf(stderr, "%s\n", cli_usage());
+    std::exit(2);
+  }
+  if (cli.dump_config) {
+    const std::string json = util::reflect::config_to_json(cfg);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::exit(0);
+  }
+}
+
+}  // namespace saisim::sweep

@@ -1,113 +1,11 @@
 #include "sweep/fingerprint.hpp"
 
-#include <bit>
+#include "util/reflect.hpp"
 
 namespace saisim::sweep {
 
-namespace {
-
-/// Appends "k=v;" pairs. Values are rendered exactly: integers in decimal,
-/// doubles as their IEEE-754 bit pattern (so 1.0 Gb/s and 1.04 Gb/s — or
-/// any two distinct doubles — never collide).
-class Fp {
- public:
-  void add(const char* key, i64 v) {
-    out_ += key;
-    out_ += '=';
-    out_ += std::to_string(v);
-    out_ += ';';
-  }
-  void add(const char* key, u64 v) {
-    out_ += key;
-    out_ += '=';
-    out_ += std::to_string(v);
-    out_ += ';';
-  }
-  void add(const char* key, int v) { add(key, static_cast<i64>(v)); }
-  void add(const char* key, u32 v) { add(key, static_cast<u64>(v)); }
-  void add(const char* key, bool v) { add(key, static_cast<i64>(v)); }
-  void add(const char* key, double v) { add(key, std::bit_cast<u64>(v)); }
-  void add(const char* key, Time t) { add(key, t.picoseconds()); }
-  void add(const char* key, Cycles c) { add(key, c.count()); }
-  void add(const char* key, Bandwidth b) { add(key, b.bytes_per_second()); }
-  void add(const char* key, Frequency f) { add(key, f.hertz()); }
-
-  std::string take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-}  // namespace
-
 std::string config_fingerprint(const ExperimentConfig& cfg) {
-  Fp fp;
-  // Topology and run identity.
-  fp.add("nc", cfg.num_clients);
-  fp.add("ns", cfg.num_servers);
-  fp.add("strip", cfg.strip_size);
-  fp.add("ppc", cfg.procs_per_client);
-  fp.add("policy", static_cast<i64>(cfg.policy));
-  fp.add("bg", cfg.enable_background);
-  fp.add("swl", cfg.switch_latency);
-  fp.add("lnl", cfg.link_latency);
-  fp.add("meta", cfg.metadata_service);
-  fp.add("seed", cfg.seed);
-  fp.add("maxt", cfg.max_sim_time);
-
-  // Client machine.
-  const ClientMachineConfig& cl = cfg.client;
-  fp.add("c.cores", cl.cores);
-  fp.add("c.freq", cl.core_freq);
-  fp.add("c.cap", cl.cache.capacity_bytes);
-  fp.add("c.line", cl.cache.line_bytes);
-  fp.add("c.ways", cl.cache.ways);
-  fp.add("c.hit", cl.timings.l2_hit);
-  fp.add("c.dram", cl.timings.dram_access);
-  fp.add("c.c2c", cl.timings.c2c_transfer);
-  fp.add("c.burst", cl.timings.dram_burst_allowance);
-  fp.add("c.membw", cl.dram_bandwidth);
-  fp.add("c.nicbw", cl.nic_bandwidth);
-  fp.add("c.q", cl.nic.queues);
-  fp.add("c.ring", cl.nic.ring_capacity);
-  fp.add("c.ppc", cl.nic.per_packet_cycles);
-  fp.add("c.pbc", cl.nic.per_byte_centicycles);
-  fp.add("c.vec", static_cast<i64>(cl.nic.vector_base));
-  fp.add("c.reuse", cl.nic.touch_reuse);
-  fp.add("c.coal", cl.nic.coalesce_count);
-  fp.add("c.coalt", cl.nic.coalesce_timeout);
-  fp.add("c.quant", cl.user_quantum);
-
-  // Server machine.
-  const ServerMachineConfig& sv = cfg.server;
-  fp.add("s.disk", sv.io.disk_bandwidth);
-  fp.add("s.seek", sv.io.disk_seek);
-  fp.add("s.req", sv.io.request_service);
-  fp.add("s.hit", sv.io.cache_hit_ratio);
-  fp.add("s.nicbw", sv.nic_bandwidth);
-
-  // IOR workload.
-  const workload::IorConfig& io = cfg.ior;
-  fp.add("i.mode", static_cast<i64>(io.mode));
-  fp.add("i.pat", static_cast<i64>(io.pattern));
-  fp.add("i.xfer", io.transfer_size);
-  fp.add("i.total", io.total_bytes);
-  fp.add("i.off", io.file_offset_start);
-  fp.add("i.region", io.file_region_bytes);
-  fp.add("i.mig", io.wake_migration_probability);
-  fp.add("i.comp", io.compute_centicycles_per_byte);
-  fp.add("i.creuse", io.compute_reuse_per_line);
-  fp.add("i.sys", io.syscall_cycles);
-  fp.add("i.copy", io.copy_cycles_per_strip);
-  fp.add("i.incr", io.incremental_copy);
-  fp.add("i.wake", io.remote_wakeup_cycles);
-
-  // Background load.
-  fp.add("b.per", cfg.background.period);
-  fp.add("b.bytes", cfg.background.touch_bytes);
-  fp.add("b.cyc", cfg.background.fixed_cycles);
-
-  return fp.take();
+  return util::reflect::fingerprint_of(cfg);
 }
 
 }  // namespace saisim::sweep

@@ -5,6 +5,12 @@
 // Every field is encoded exactly — doubles by their bit pattern — which is
 // what makes the cache safe where the old benches' `int(gbit * 10)` key was
 // not (1.0 vs 1.04 Gb/s truncated to the same bucket).
+//
+// The encoding is now produced by the reflection layer (util/reflect.hpp):
+// every field a `describe()` overload declares is emitted as a
+// "dotted.path=value;" pair in declaration order. New fields are picked up
+// automatically, and config_drift_test fails if a struct grows a member
+// that no describe() mentions.
 #pragma once
 
 #include <string>
@@ -13,9 +19,9 @@
 
 namespace saisim::sweep {
 
-/// Collision-free (field-order + exact-value) encoding of every field of
-/// `cfg`. Must be kept in sync when ExperimentConfig or any nested config
-/// struct grows a field; sweep_spec_test spot-checks representative fields.
+/// Collision-free (field-order + exact-value) encoding of every described
+/// field of `cfg`. Equivalent to `util::reflect::fingerprint_of(cfg)`;
+/// kept as a named entry point because it is the sweep cache's key.
 std::string config_fingerprint(const ExperimentConfig& cfg);
 
 }  // namespace saisim::sweep

@@ -1,0 +1,95 @@
+// Fingerprint-keyed result cache with concurrent-duplicate suppression.
+//
+// `ResultCache<Config, Result>` memoises expensive deterministic runs
+// (simulations) keyed by the exact reflected fingerprint of their config
+// (util/reflect.hpp), so any two configs share an entry iff every described
+// field is bit-identical. Lookups for an in-flight key block on a
+// shared_future instead of re-running — N threads asking for the same
+// config produce exactly one execution.
+//
+// Works for any config type with a `describe()` overload: the experiment
+// sweep runner stores RunMetrics per ExperimentConfig, and the memsim bench
+// stores MemsimResult per MemsimConfig.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/reflect.hpp"
+#include "util/types.hpp"
+
+namespace saisim::sweep {
+
+struct CacheStats {
+  u64 executed = 0;    // runs actually performed
+  u64 cache_hits = 0;  // lookups served from a finished or in-flight entry
+};
+
+template <class Config, class Result>
+class ResultCache {
+ public:
+  ResultCache() = default;
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached result for `cfg`, running `compute(cfg)` on the
+  /// calling thread if this is the first request for its fingerprint.
+  /// Concurrent callers with the same fingerprint block until the first
+  /// finishes; an exception from `compute` propagates to all of them.
+  template <class Fn>
+  Result get_or_run(const Config& cfg, Fn&& compute) {
+    std::promise<Result>* owner = nullptr;
+    std::shared_future<Result> future = lookup(cfg, &owner);
+    if (owner != nullptr) {
+      try {
+        owner->set_value(compute(cfg));
+      } catch (...) {
+        owner->set_exception(std::current_exception());
+      }
+    }
+    return future.get();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  u64 size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+
+ private:
+  /// Returns the future for `cfg`'s result, creating it if absent.
+  /// `*owner` is set when the caller must execute the run itself.
+  std::shared_future<Result> lookup(const Config& cfg,
+                                    std::promise<Result>** owner) {
+    std::string key = util::reflect::fingerprint_of(cfg);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      *owner = nullptr;
+      ++stats_.cache_hits;
+      return it->second;
+    }
+    promises_.push_back(std::make_unique<std::promise<Result>>());
+    *owner = promises_.back().get();
+    auto future = (*owner)->get_future().share();
+    cache_.emplace(std::move(key), future);
+    ++stats_.executed;
+    return future;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Result>> cache_;
+  std::vector<std::unique_ptr<std::promise<Result>>> promises_;
+  CacheStats stats_;
+};
+
+}  // namespace saisim::sweep

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "sweep/fingerprint.hpp"
 #include "util/assert.hpp"
 
 namespace saisim::sweep {
@@ -43,37 +42,6 @@ std::vector<SweepResult::ComparisonRow> SweepResult::comparisons(
 
 SweepRunner::SweepRunner(RunnerOptions opts) : opts_(opts) {}
 
-std::shared_future<RunMetrics> SweepRunner::lookup(
-    const ExperimentConfig& cfg, std::promise<RunMetrics>** owner) {
-  const std::string key = config_fingerprint(cfg);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    *owner = nullptr;
-    ++stats_.cache_hits;
-    return it->second;
-  }
-  promises_.push_back(std::make_unique<std::promise<RunMetrics>>());
-  *owner = promises_.back().get();
-  auto future = (*owner)->get_future().share();
-  cache_.emplace(key, future);
-  ++stats_.executed;
-  return future;
-}
-
-RunMetrics SweepRunner::fetch(const ExperimentConfig& cfg) {
-  std::promise<RunMetrics>* owner = nullptr;
-  std::shared_future<RunMetrics> future = lookup(cfg, &owner);
-  if (owner != nullptr) {
-    try {
-      owner->set_value(run_experiment(cfg));
-    } catch (...) {
-      owner->set_exception(std::current_exception());
-    }
-  }
-  return future.get();
-}
-
 SweepResult SweepRunner::run(const SweepSpec& spec) {
   SweepResult res;
   res.name = spec.name();
@@ -90,18 +58,14 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
   popts.threads = opts_.threads;
   popts.progress = opts_.progress;
   popts.label = spec.name();
-  res.metrics = parallel_map(
-      n, popts, [&](u64 i) { return fetch(res.points[i].config); });
+  res.metrics = parallel_map(n, popts, [&](u64 i) {
+    return cache_.get_or_run(res.points[i].config, run_experiment);
+  });
   return res;
 }
 
 RunMetrics SweepRunner::run_config(const ExperimentConfig& cfg) {
-  return fetch(cfg);
-}
-
-RunnerStats SweepRunner::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return cache_.get_or_run(cfg, run_experiment);
 }
 
 Comparison compare_policies(ExperimentConfig cfg, PolicyKind baseline) {

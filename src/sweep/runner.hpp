@@ -10,13 +10,11 @@
 // two different configs collide.
 #pragma once
 
-#include <future>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sweep/parallel.hpp"
+#include "sweep/result_cache.hpp"
 #include "sweep/spec.hpp"
 
 namespace saisim::sweep {
@@ -51,10 +49,8 @@ struct RunnerOptions {
   bool progress = true;  // single completed/total line on stderr
 };
 
-struct RunnerStats {
-  u64 executed = 0;    // simulations actually run
-  u64 cache_hits = 0;  // grid points served from the fingerprint cache
-};
+/// Per-runner cache statistics (alias of the generic cache's counters).
+using RunnerStats = CacheStats;
 
 class SweepRunner {
  public:
@@ -69,20 +65,11 @@ class SweepRunner {
   /// One configuration through the same fingerprint cache.
   RunMetrics run_config(const ExperimentConfig& cfg);
 
-  RunnerStats stats() const;
+  RunnerStats stats() const { return cache_.stats(); }
 
  private:
-  /// Returns the future for `cfg`'s metrics, creating it if absent.
-  /// `*owner` is set when the caller must execute the run itself.
-  std::shared_future<RunMetrics> lookup(const ExperimentConfig& cfg,
-                                        std::promise<RunMetrics>** owner);
-  RunMetrics fetch(const ExperimentConfig& cfg);
-
   RunnerOptions opts_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_future<RunMetrics>> cache_;
-  std::vector<std::unique_ptr<std::promise<RunMetrics>>> promises_;
-  RunnerStats stats_;
+  ResultCache<ExperimentConfig, RunMetrics> cache_;
 };
 
 /// The paper's two-policy comparison, built on the runner: both runs

@@ -15,6 +15,8 @@
 
 #include "core/experiment.hpp"
 #include "core/policy.hpp"
+#include "util/assert.hpp"
+#include "util/reflect.hpp"
 
 namespace saisim::sweep {
 
@@ -43,6 +45,50 @@ Axis make_axis(std::string name, const std::vector<T>& values, LabelFn label,
         AxisValue{label(v), [apply, v](ExperimentConfig& c) { apply(c, v); }});
   }
   return a;
+}
+
+/// Exact textual rendering of an axis value for set_field: doubles via the
+/// shortest round-trip form (std::to_string would truncate to 6 decimals),
+/// bools as the words set_field's bool channel accepts.
+template <typename T>
+std::string render_axis_value(const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return util::reflect::render_f64(v);
+  } else {
+    return std::to_string(v);
+  }
+}
+
+/// Build an axis over a reflected field: each value is applied through
+/// `util::reflect::set_field` at the dotted `path`, so the axis definition
+/// is just (path, values) — no per-axis mutator lambda, and the field's
+/// Check is enforced when the grid point materialises. `label(v)` names
+/// each grid line.
+template <typename T, typename LabelFn>
+Axis make_field_axis(std::string name, std::string path,
+                     const std::vector<T>& values, LabelFn label) {
+  Axis a;
+  a.name = std::move(name);
+  a.values.reserve(values.size());
+  for (const T& v : values) {
+    a.values.push_back(
+        AxisValue{label(v), [path, v](ExperimentConfig& c) {
+          const auto st =
+              util::reflect::set_field(c, path, render_axis_value(v));
+          SAISIM_CHECK_MSG(st.ok(), st.message.c_str());
+        }});
+  }
+  return a;
+}
+
+/// Field axis labelled with the value's exact rendering.
+template <typename T>
+Axis make_field_axis(std::string name, std::string path,
+                     const std::vector<T>& values) {
+  return make_field_axis(std::move(name), std::move(path), values,
+                         [](const T& v) { return render_axis_value(v); });
 }
 
 class SweepSpec {

@@ -1,0 +1,107 @@
+#include "util/reflect_json.hpp"
+
+namespace saisim::util::reflect {
+
+namespace {
+
+void skip_ws(std::string_view text, u64* pos) {
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+    ++*pos;
+  }
+}
+
+std::string at_offset(u64 pos) {
+  return " at offset " + std::to_string(pos);
+}
+
+/// Scans a JSON string token (config keys and enum values contain no
+/// escape sequences, so none are interpreted).
+bool scan_string(std::string_view text, u64* pos, std::string* out) {
+  if (*pos >= text.size() || text[*pos] != '"') return false;
+  const u64 start = ++*pos;
+  while (*pos < text.size() && text[*pos] != '"') {
+    if (text[*pos] == '\\') return false;
+    ++*pos;
+  }
+  if (*pos >= text.size()) return false;
+  *out = std::string(text.substr(start, *pos - start));
+  ++*pos;  // closing quote
+  return true;
+}
+
+/// Scans a bare literal: a JSON number or true/false.
+bool scan_literal(std::string_view text, u64* pos, std::string* out) {
+  const u64 start = *pos;
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    const bool number_char = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                             c == '.' || c == 'e' || c == 'E';
+    const bool word_char = (c >= 'a' && c <= 'z');
+    if (!number_char && !word_char) break;
+    ++*pos;
+  }
+  if (*pos == start) return false;
+  *out = std::string(text.substr(start, *pos - start));
+  return true;
+}
+
+}  // namespace
+
+std::string parse_flat_json(std::string_view text,
+                            std::vector<JsonEntry>* entries) {
+  u64 pos = 0;
+  skip_ws(text, &pos);
+  if (pos >= text.size() || text[pos] != '{') {
+    return "config JSON: expected '{'" + at_offset(pos);
+  }
+  ++pos;
+  skip_ws(text, &pos);
+  if (pos < text.size() && text[pos] == '}') {
+    ++pos;
+  } else {
+    while (true) {
+      skip_ws(text, &pos);
+      JsonEntry entry;
+      if (!scan_string(text, &pos, &entry.key)) {
+        return "config JSON: expected a quoted key" + at_offset(pos);
+      }
+      skip_ws(text, &pos);
+      if (pos >= text.size() || text[pos] != ':') {
+        return "config JSON: expected ':' after \"" + entry.key + "\"" +
+               at_offset(pos);
+      }
+      ++pos;
+      skip_ws(text, &pos);
+      if (pos < text.size() && text[pos] == '"') {
+        entry.quoted = true;
+        if (!scan_string(text, &pos, &entry.value)) {
+          return "config JSON: bad string value for \"" + entry.key + "\"" +
+                 at_offset(pos);
+        }
+      } else if (!scan_literal(text, &pos, &entry.value)) {
+        return "config JSON: bad value for \"" + entry.key + "\"" +
+               at_offset(pos);
+      }
+      entries->push_back(std::move(entry));
+      skip_ws(text, &pos);
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        break;
+      }
+      return "config JSON: expected ',' or '}'" + at_offset(pos);
+    }
+  }
+  skip_ws(text, &pos);
+  if (pos != text.size()) {
+    return "config JSON: trailing content" + at_offset(pos);
+  }
+  return "";
+}
+
+}  // namespace saisim::util::reflect

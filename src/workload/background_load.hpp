@@ -10,6 +10,7 @@
 
 #include "cpu/cpu_system.hpp"
 #include "mem/memory_system.hpp"
+#include "util/reflect.hpp"
 
 namespace saisim::workload {
 
@@ -19,6 +20,14 @@ struct BackgroundConfig {
   u64 touch_bytes = 16ull << 10;
   Cycles fixed_cycles{2000};
 };
+
+template <class V>
+void describe(V& v, BackgroundConfig& c) {
+  namespace r = util::reflect;
+  v.field("period", c.period, r::positive());
+  v.field("touch_bytes", c.touch_bytes, r::positive(), "B");
+  v.field("fixed_cycles", c.fixed_cycles, r::non_negative());
+}
 
 class BackgroundLoad : public sim::Actor {
  public:

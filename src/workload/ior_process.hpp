@@ -16,6 +16,7 @@
 #include "cpu/cpu_system.hpp"
 #include "mem/memory_system.hpp"
 #include "pfs/pfs_client.hpp"
+#include "util/reflect.hpp"
 
 namespace saisim::workload {
 
@@ -28,6 +29,9 @@ enum class AccessPattern {
   kSequential,  // IOR's default streaming read
   kRandom,      // IOR's random mode: transfer-aligned random offsets
 };
+
+inline constexpr const char* kIorModeNames[] = {"read", "write"};
+inline constexpr const char* kAccessPatternNames[] = {"sequential", "random"};
 
 struct IorConfig {
   IorMode mode = IorMode::kRead;
@@ -67,6 +71,30 @@ struct IorConfig {
   /// another core.
   Cycles remote_wakeup_cycles{4000};
 };
+
+template <class V>
+void describe(V& v, IorConfig& c) {
+  namespace r = util::reflect;
+  v.field("mode", c.mode, r::EnumNames{kIorModeNames, 2});
+  v.field("pattern", c.pattern, r::EnumNames{kAccessPatternNames, 2});
+  v.field("transfer_size", c.transfer_size, r::positive(), "B");
+  v.field("total_bytes", c.total_bytes, r::positive(), "B");
+  v.field("file_offset_start", c.file_offset_start, r::non_negative(), "B");
+  v.field("file_region_bytes", c.file_region_bytes, r::positive(), "B");
+  v.field("wake_migration_probability", c.wake_migration_probability,
+          r::unit_interval());
+  v.field("compute_centicycles_per_byte", c.compute_centicycles_per_byte,
+          r::non_negative(), "centicycles");
+  v.field("compute_reuse_per_line", c.compute_reuse_per_line,
+          r::non_negative());
+  v.field("syscall_cycles", c.syscall_cycles, r::non_negative());
+  v.field("copy_cycles_per_strip", c.copy_cycles_per_strip,
+          r::non_negative());
+  v.field("incremental_copy", c.incremental_copy);
+  v.field("remote_wakeup_cycles", c.remote_wakeup_cycles, r::non_negative());
+  v.invariant(c.file_region_bytes >= c.transfer_size,
+              "file_region_bytes must cover at least one transfer");
+}
 
 struct IorProcessStats {
   u64 bytes_read = 0;

@@ -1,0 +1,98 @@
+// Drift guard: every config struct's describe() overload must cover every
+// field. Two fences, which must be updated *together* when a field is
+// added:
+//
+//   1. the described-leaf count per struct (fails when describe() changes),
+//   2. sizeof() per struct on x86-64/LP64 (fails when the struct grows —
+//      so adding a member without describing it trips fence 2 while
+//      fence 1 stays green, pointing straight at the missing describe()).
+//
+// If both fire, someone added *and* described a field: update both
+// numbers, and re-record any golden fingerprints the field invalidates.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "memsim/memsim.hpp"
+#include "realmem/real_memsim.hpp"
+
+namespace saisim {
+namespace {
+
+using util::reflect::count_fields;
+
+TEST(ConfigDrift, DescribedLeafCounts) {
+  EXPECT_EQ(count_fields<mem::CacheConfig>(), 3u);
+  EXPECT_EQ(count_fields<mem::MemoryTimings>(), 4u);
+  EXPECT_EQ(count_fields<net::NicConfig>(), 8u);
+  EXPECT_EQ(count_fields<pfs::IoServerConfig>(), 4u);
+  EXPECT_EQ(count_fields<workload::IorConfig>(), 13u);
+  EXPECT_EQ(count_fields<workload::BackgroundConfig>(), 3u);
+  EXPECT_EQ(count_fields<ClientMachineConfig>(), 20u);
+  EXPECT_EQ(count_fields<ServerMachineConfig>(), 5u);
+  EXPECT_EQ(count_fields<ExperimentConfig>(), 52u);
+  EXPECT_EQ(count_fields<memsim::MemsimConfig>(), 23u);
+  EXPECT_EQ(count_fields<realmem::RealMemConfig>(), 8u);
+}
+
+// Composite counts must be the sum of their parts — catches a group()
+// call silently dropped from a parent describe().
+TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
+  EXPECT_EQ(count_fields<ClientMachineConfig>(),
+            2u /* cores, core_freq */ + count_fields<mem::CacheConfig>() +
+                count_fields<mem::MemoryTimings>() + 1u /* dram_bandwidth */ +
+                count_fields<net::NicConfig>() +
+                2u /* nic_bandwidth, user_quantum */);
+  EXPECT_EQ(count_fields<ServerMachineConfig>(),
+            count_fields<pfs::IoServerConfig>() + 1u /* nic_bandwidth */);
+  EXPECT_EQ(count_fields<ExperimentConfig>(),
+            2u /* num_clients, num_servers */ + 1u /* strip_size */ +
+                count_fields<ClientMachineConfig>() +
+                count_fields<ServerMachineConfig>() +
+                count_fields<workload::IorConfig>() +
+                1u /* procs_per_client */ + 1u /* policy */ +
+                count_fields<workload::BackgroundConfig>() +
+                1u /* enable_background */ + 3u /* latencies */ +
+                2u /* seed, max_sim_time */);
+}
+
+#if defined(__x86_64__) && defined(__linux__)
+// Struct sizes on the reference ABI. A new member changes these before
+// anyone remembers the describe() overload exists — that is the point.
+TEST(ConfigDrift, StructSizesMatchDescribedLayout) {
+  EXPECT_EQ(sizeof(mem::CacheConfig), 24u);
+  EXPECT_EQ(sizeof(mem::MemoryTimings), 32u);
+  EXPECT_EQ(sizeof(net::NicConfig), 56u);
+  EXPECT_EQ(sizeof(pfs::IoServerConfig), 32u);
+  EXPECT_EQ(sizeof(workload::IorConfig), 96u);
+  EXPECT_EQ(sizeof(workload::BackgroundConfig), 24u);
+  EXPECT_EQ(sizeof(ClientMachineConfig), 152u);
+  EXPECT_EQ(sizeof(ServerMachineConfig), 40u);
+  EXPECT_EQ(sizeof(ExperimentConfig), 384u);
+  EXPECT_EQ(sizeof(memsim::MemsimConfig), 168u);
+  EXPECT_EQ(sizeof(realmem::RealMemConfig), 48u);
+}
+#endif
+
+// The default configs must pass their own declared validation — otherwise
+// every bench would exit 2 before doing anything.
+TEST(ConfigDrift, DefaultsAreValid) {
+  EXPECT_TRUE(util::reflect::validate_config(ExperimentConfig{}).empty());
+  EXPECT_TRUE(util::reflect::validate_config(memsim::MemsimConfig{}).empty());
+  EXPECT_TRUE(
+      util::reflect::validate_config(realmem::RealMemConfig{}).empty());
+}
+
+// The paper's client (Fig. 4 testbed) encodes the source core in 5 bits of
+// the IP options hint, so described validation must reject >32 cores.
+TEST(ConfigDrift, CoreCountCapMatchesHintEncoding) {
+  ExperimentConfig cfg;
+  cfg.client.cores = 32;
+  EXPECT_TRUE(util::reflect::validate_config(cfg).empty());
+  cfg.client.cores = 33;
+  const auto errors = util::reflect::validate_config(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("client.cores"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saisim

@@ -1,0 +1,115 @@
+// ResultCache: fingerprint-keyed memoisation with concurrent-duplicate
+// suppression. Uses a tiny local reflected config so the execution count
+// is fully controlled by the test.
+#include "sweep/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/reflect.hpp"
+
+namespace saisim::sweep {
+namespace {
+
+struct ProbeConfig {
+  int id = 0;
+  double scale = 1.0;
+};
+
+template <class V>
+void describe(V& v, ProbeConfig& c) {
+  v.field("id", c.id, util::reflect::at_least(0));
+  v.field("scale", c.scale);
+}
+
+struct ProbeResult {
+  int id = 0;
+  u64 run_number = 0;
+};
+
+TEST(ResultCache, ExecutesOncePerFingerprint) {
+  ResultCache<ProbeConfig, ProbeResult> cache;
+  std::atomic<u64> runs{0};
+  const auto compute = [&](const ProbeConfig& c) {
+    return ProbeResult{c.id, ++runs};
+  };
+
+  ProbeConfig a;
+  a.id = 1;
+  const ProbeResult first = cache.get_or_run(a, compute);
+  const ProbeResult again = cache.get_or_run(a, compute);
+  EXPECT_EQ(first.run_number, 1u);
+  EXPECT_EQ(again.run_number, 1u) << "second lookup must not re-run";
+  EXPECT_EQ(runs.load(), 1u);
+
+  ProbeConfig b = a;
+  b.scale = 2.0;  // any described field differing → distinct entry
+  EXPECT_EQ(cache.get_or_run(b, compute).run_number, 2u);
+
+  EXPECT_EQ(cache.size(), 2u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.executed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ResultCache, ConcurrentCallersShareOneExecution) {
+  ResultCache<ProbeConfig, ProbeResult> cache;
+  std::atomic<u64> runs{0};
+  constexpr int kThreads = 8;
+  constexpr int kConfigs = 4;
+  constexpr int kRepeats = 16;
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRepeats; ++i) {
+        ProbeConfig cfg;
+        cfg.id = (t + i) % kConfigs;
+        const ProbeResult res = cache.get_or_run(cfg, [&](const ProbeConfig& c) {
+          ++runs;
+          return ProbeResult{c.id, 0};
+        });
+        if (res.id != cfg.id) ok = false;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(runs.load(), static_cast<u64>(kConfigs))
+      << "same-fingerprint callers must block on the in-flight run, not "
+         "duplicate it";
+  EXPECT_EQ(cache.size(), static_cast<u64>(kConfigs));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.executed, static_cast<u64>(kConfigs));
+  EXPECT_EQ(stats.executed + stats.cache_hits,
+            static_cast<u64>(kThreads * kRepeats));
+}
+
+TEST(ResultCache, ExceptionPropagatesToEveryCaller) {
+  ResultCache<ProbeConfig, ProbeResult> cache;
+  const ProbeConfig cfg;
+  const auto boom = [](const ProbeConfig&) -> ProbeResult {
+    throw std::runtime_error("simulated failure");
+  };
+  EXPECT_THROW(cache.get_or_run(cfg, boom), std::runtime_error);
+  // The failed entry stays cached: a retry observes the same exception
+  // rather than silently re-running (deterministic runs fail
+  // deterministically).
+  u64 reruns = 0;
+  EXPECT_THROW(cache.get_or_run(cfg,
+                                [&](const ProbeConfig&) -> ProbeResult {
+                                  ++reruns;
+                                  return {};
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(reruns, 0u);
+}
+
+}  // namespace
+}  // namespace saisim::sweep
