@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "trace/tracer.hpp"
 #include "util/assert.hpp"
 
 namespace saisim::apic {
@@ -22,6 +23,7 @@ void LocalApic::deliver(InterruptMessage msg, Time) {
             if (done) done(handler, now);
           },
       .tag = msg.tag,
+      .request = msg.request,
   });
 }
 
@@ -59,7 +61,9 @@ void IoApic::raise(InterruptMessage msg) {
   SAISIM_CHECK_MSG(dest >= 0 && dest < cpus_.num_cores(),
                    "policy routed to an invalid core");
   ++stats_.per_core[static_cast<u64>(dest)];
-  if (observer_) observer_(msg, dest, sim_.now());
+  SAISIM_TRACE_EVENT(util::Subsystem::kApic, trace::EventType::kIrqRaise,
+                     sim_.now(), -1, dest, msg.request, msg.vector,
+                     msg.aff_core_id != kNoCore ? 1 : 0);
   LocalApic& lapic = local_apics_[static_cast<u64>(dest)];
   sim_.after(delivery_latency_, [this, dest, msg = std::move(msg)]() mutable {
     local_apics_[static_cast<u64>(dest)].deliver(std::move(msg), sim_.now());

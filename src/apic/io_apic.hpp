@@ -50,11 +50,6 @@ class IoApic {
   /// must be valid and non-empty; unlisted vectors may go to any core.
   void set_redirection(Vector vector, std::vector<CoreId> allowed);
 
-  /// Observes every routing decision (tracing/analysis hook).
-  using Observer = std::function<void(const InterruptMessage&, CoreId dest,
-                                      Time when)>;
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
-
   InterruptRoutingPolicy& policy() { return *policy_; }
   const IoApicStats& stats() const { return stats_; }
 
@@ -72,7 +67,6 @@ class IoApic {
 
   std::vector<LocalApic> local_apics_;
   std::vector<CoreId> all_cores_;
-  Observer observer_;
   std::unordered_map<Vector, std::vector<CoreId>> redirection_;
   IoApicStats stats_;
 };

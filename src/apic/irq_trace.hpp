@@ -1,19 +1,23 @@
 // Interrupt-routing trace and locality analysis.
 //
-// Attach to an IoApic to record every routing decision, then ask:
+// A consumer of the cross-layer tracer (trace/tracer.hpp): install a
+// Tracer with the `apic` subsystem enabled, run the scenario, then
+// `ingest()` the recorded stream and ask:
 //   * peer locality — for each request with several interrupts, what
 //     fraction landed on a single core? (1.0 = perfect source-awareness,
 //     1/NC = fully scattered; the property the paper's Figure 1c draws);
 //   * per-core distribution and a per-time-window activity table.
+// All analyses iterate in sorted (request id / core id) order, so their
+// results and tables are deterministic.
 #pragma once
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "apic/io_apic.hpp"
 #include "stats/table.hpp"
+#include "trace/tracer.hpp"
 
 namespace saisim::apic {
 
@@ -27,17 +31,27 @@ class IrqTrace {
     Time when;
   };
 
-  /// Install onto `apic` (replaces any previous observer). The trace must
-  /// outlive the IoApic's use.
-  void attach(IoApic& apic) {
-    apic.set_observer([this](const InterruptMessage& m, CoreId dest, Time t) {
-      record(m, dest, t);
-    });
+  /// Extracts the apic.irq events from a recorded stream (appends to any
+  /// previously ingested events).
+  void ingest(const std::vector<trace::Event>& events) {
+    for (const trace::Event& e : events) {
+      if (e.type != trace::EventType::kIrqRaise) continue;
+      record(e);
+    }
   }
 
-  void record(const InterruptMessage& m, CoreId dest, Time when) {
-    events_.push_back(
-        Event{m.vector, m.request, dest, m.aff_core_id != kNoCore, when});
+  /// Same, directly from a tracer (without materialising its stream).
+  void ingest(const trace::Tracer& tracer) {
+    for (u64 i = 0; i < tracer.size(); ++i) {
+      const trace::Event& e = tracer.event(i);
+      if (e.type != trace::EventType::kIrqRaise) continue;
+      record(e);
+    }
+  }
+
+  void record(const trace::Event& e) {
+    events_.push_back(Event{static_cast<Vector>(e.a), e.request, e.core,
+                            e.b != 0, e.when});
   }
 
   u64 size() const { return events_.size(); }
@@ -46,7 +60,9 @@ class IrqTrace {
   /// Mean over multi-interrupt requests of (interrupts on the modal core /
   /// interrupts of the request). The metric the source-aware idea optimises.
   double peer_locality() const {
-    std::unordered_map<RequestId, std::unordered_map<int, u64>> by_request;
+    // Sorted maps: the double accumulation below visits requests and cores
+    // in a fixed order, so the floating-point sum is reproducible.
+    std::map<RequestId, std::map<CoreId, u64>> by_request;
     for (const Event& e : events_) {
       if (e.request < 0) continue;
       ++by_request[e.request][e.dest];
@@ -66,7 +82,7 @@ class IrqTrace {
     return n == 0 ? 1.0 : sum / static_cast<double>(n);
   }
 
-  /// Deliveries per core.
+  /// Deliveries per core (sorted by core id).
   std::map<CoreId, u64> per_core() const {
     std::map<CoreId, u64> out;
     for (const Event& e : events_) ++out[e.dest];

@@ -1,8 +1,12 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "pfs/meta_server.hpp"
+#include "trace/counter_registry.hpp"
+#include "trace/runtime.hpp"
+#include "trace/tracer.hpp"
 
 namespace saisim {
 
@@ -38,6 +42,21 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   SAISIM_CHECK(cfg.num_clients > 0);
   SAISIM_CHECK(cfg.num_servers > 0);
   SAISIM_CHECK(cfg.procs_per_client > 0);
+
+  // Observability: when the shared CLI asked for a trace, install a tracer
+  // on this thread for the duration of the run. Sweep workers each install
+  // their own, so concurrent runs never interleave events. The tracer is
+  // purely observational — it must not (and cannot) perturb the model, so
+  // golden metrics are identical with it on or off.
+  const trace::RuntimeOptions& topts = trace::options();
+  std::unique_ptr<trace::Tracer> tracer;
+  std::optional<trace::TraceScope> trace_scope;
+  if (topts.collect && topts.events) {
+    tracer = std::make_unique<trace::Tracer>(topts.mask, topts.capacity);
+    trace_scope.emplace(tracer.get());
+  }
+  // Without an own tracer the ambient one (if any) stays installed — tests
+  // wrap run_experiment in a TraceScope to capture its event stream.
 
   sim::Simulation simulation(cfg.seed);
   net::Network network(simulation, cfg.switch_latency);
@@ -109,6 +128,12 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   }
 
   // ---- Metric aggregation --------------------------------------------
+  // The end-of-run barrier: subsystem stats are published into a named
+  // CounterRegistry, and RunMetrics' integer fields are re-derived from it
+  // — one counter namespace serves the metrics struct, the --metrics CSV,
+  // and any future consumer, and a divergence between the two would be a
+  // bug the golden tests catch.
+  trace::CounterRegistry registry;
   RunMetrics m;
   m.elapsed = simulation.now();
   const Time elapsed = m.elapsed;
@@ -123,11 +148,41 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     softirq_total +=
         client->cpus().total_busy_by_prio(cpu::Priority::kInterrupt);
     unhalted += static_cast<double>(client->cpus().total_unhalted().count());
-    m.c2c_transfers += client->memory().c2c_transfers();
-    m.interrupts += client->nic().stats().interrupts;
-    m.rx_drops += client->nic().stats().dropped;
-    m.retransmits += client->pfs().stats().retransmits;
+    registry.counter("mem.c2c_transfers")
+        .add(client->memory().c2c_transfers());
+    registry.counter("mem.dram_line_reads")
+        .add(client->memory().dram_line_reads());
+    const net::NicStats& nic = client->nic().stats();
+    registry.counter("nic.interrupts").add(nic.interrupts);
+    registry.counter("nic.rx_messages").add(nic.rx_messages);
+    registry.counter("nic.rx_bytes").add(nic.rx_bytes);
+    registry.counter("nic.rx_dropped").add(nic.dropped);
+    const pfs::PfsClientStats& pc = client->pfs().stats();
+    registry.counter("pfs.reads_issued").add(pc.reads_issued);
+    registry.counter("pfs.reads_completed").add(pc.reads_completed);
+    registry.counter("pfs.strips_received").add(pc.strips_received);
+    registry.counter("pfs.retransmits").add(pc.retransmits);
+    registry.counter("pfs.duplicate_strips").add(pc.duplicate_strips);
+    registry.latency("pfs.read_latency_us").merge(pc.read_latency_us_hist);
+    for (int i = 0; i < client->cpus().num_cores(); ++i) {
+      const cpu::CoreAccounting& acct =
+          client->cpus().core(i).accounting();
+      registry.counter("cpu.items_completed").add(acct.items_completed);
+      registry.counter("cpu.preemptions").add(acct.preemptions);
+      registry.counter("cpu.timeslice_rotations")
+          .add(acct.timeslice_rotations);
+    }
   }
+  for (auto& server : servers) {
+    const pfs::IoServerStats& st = server->stats();
+    registry.counter("server.requests").add(st.requests);
+    registry.counter("server.bytes_served").add(st.bytes_served);
+    registry.counter("server.cache_hits").add(st.cache_hits);
+  }
+  m.c2c_transfers = registry.value("mem.c2c_transfers");
+  m.interrupts = registry.value("nic.interrupts");
+  m.rx_drops = registry.value("nic.rx_dropped");
+  m.retransmits = registry.value("pfs.retransmits");
   m.l2_miss_rate = cache_total.miss_rate();
   const i64 total_cores =
       static_cast<i64>(cfg.num_clients) * cfg.client.cores;
@@ -136,17 +191,16 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   m.softirq_cycles = static_cast<double>(
       cfg.client.core_freq.cycles_in(softirq_total).count());
 
-  u64 total_bytes = 0;
   m.per_client_bandwidth_mbps.assign(static_cast<u64>(cfg.num_clients), 0.0);
   for (u64 i = 0; i < procs.size(); ++i) {
     const u64 bytes = procs[i]->stats().bytes_read;
-    total_bytes += bytes;
+    registry.counter("ior.bytes_read").add(bytes);
     const u64 client_idx = i / static_cast<u64>(cfg.procs_per_client);
     m.per_client_bandwidth_mbps[client_idx] +=
         throughput_mbps(bytes, elapsed);
   }
-  m.total_bytes = total_bytes;
-  m.bandwidth_mbps = throughput_mbps(total_bytes, elapsed);
+  m.total_bytes = registry.value("ior.bytes_read");
+  m.bandwidth_mbps = throughput_mbps(m.total_bytes, elapsed);
 
   double latency_sum = 0.0;
   u64 latency_n = 0;
@@ -158,15 +212,32 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   m.mean_read_latency_us =
       latency_n ? latency_sum / static_cast<double>(latency_n) : 0.0;
 
-  u64 hinted = 0, raised = 0;
   for (auto& client : clients) {
-    raised += client->io_apic().stats().raised;
+    registry.counter("apic.raised").add(client->io_apic().stats().raised);
     if (const auto* sa = dynamic_cast<const apic::SourceAwarePolicy*>(
             &client->io_apic().policy())) {
-      hinted += sa->hinted_routes();
+      registry.counter("apic.hinted_routes").add(sa->hinted_routes());
     }
   }
-  m.hinted_interrupt_share_x1e4 = raised ? hinted * 10'000 / raised : 0;
+  const u64 raised = registry.value("apic.raised");
+  m.hinted_interrupt_share_x1e4 =
+      raised ? registry.value("apic.hinted_routes") * 10'000 / raised : 0;
+
+  // Hand the run to the process-wide collector when --trace/--metrics was
+  // given. The sort key is the config fingerprint (policy is a reflected
+  // field, so it participates): export order is deterministic and reruns
+  // of an identical config dedupe away.
+  if (topts.collect) {
+    trace::RunTrace run;
+    run.label = std::string(policy_name(cfg.policy));
+    run.sort_key = util::reflect::fingerprint_of(cfg);
+    if (tracer) {
+      run.events = tracer->take();
+      run.spans = trace::build_spans(run.events);
+    }
+    run.counters = registry.snapshot();
+    trace::RunCollector::instance().add_run(std::move(run));
+  }
 
   return m;
 }

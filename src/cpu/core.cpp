@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/tracer.hpp"
 #include "util/assert.hpp"
 
 namespace saisim::cpu {
@@ -83,6 +84,13 @@ void Core::start(WorkItem item, Cycles remaining, bool cost_evaluated) {
   const Time now = sim_.now();
   current_ = Pending{std::move(item), remaining, cost_evaluated};
   if (!current_.cost_evaluated) {
+    // Interrupt work is never preempted or timesliced, so its first start
+    // is its softirq-begin and its completion its softirq-end.
+    if (current_.item.prio == Priority::kInterrupt) {
+      SAISIM_TRACE_EVENT(util::Subsystem::kCpu,
+                         trace::EventType::kSoftirqBegin, now, -1, id_,
+                         current_.item.request);
+    }
     current_.remaining = current_.item.cost(now);
     SAISIM_CHECK(current_.remaining >= Cycles::zero());
     current_.cost_evaluated = true;
@@ -114,6 +122,10 @@ void Core::on_segment_end() {
       Cycles{current_.remaining.count() - segment_cycles_.count()};
   if (current_.remaining.count() <= 0) {
     ++acct_.items_completed;
+    if (current_.item.prio == Priority::kInterrupt) {
+      SAISIM_TRACE_EVENT(util::Subsystem::kCpu, trace::EventType::kSoftirqEnd,
+                         now, -1, id_, current_.item.request);
+    }
     auto done = std::move(current_.item.on_complete);
     // Reschedule before the completion callback so new submissions from the
     // callback see a consistent core state.

@@ -32,6 +32,9 @@ struct WorkItem {
   SmallFunction<Cycles(Time now)> cost;
   SmallFunction<void(Time now)> on_complete;
   const char* tag = "";
+  /// The I/O request this burst serves, if any — propagated so the tracer
+  /// can attribute softirq/consume execution windows to request spans.
+  RequestId request = -1;
 };
 
 struct CoreAccounting {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hpp"
+
 namespace saisim::mem {
 
 MemorySystem::MemorySystem(int num_cores, const CacheConfig& cache_cfg,
@@ -155,6 +157,20 @@ Time MemorySystem::access(CoreId core, Address addr, u64 bytes,
     ++line;
   }
 
+  // One trace event per access call (not per line), so the tracer's cost
+  // stays off the per-line walk even when enabled.
+  if (misses_c2c + misses_dram > 0) {
+    SAISIM_TRACE_EVENT(util::Subsystem::kMem, trace::EventType::kCacheMiss,
+                       now, -1, core, -1, static_cast<i64>(n_lines),
+                       static_cast<i64>(misses_c2c),
+                       static_cast<i64>(misses_dram));
+  }
+  if (misses_c2c > 0) {
+    SAISIM_TRACE_EVENT(util::Subsystem::kMem,
+                       trace::EventType::kOwnerTransfer, now, -1, core, -1,
+                       static_cast<i64>(misses_c2c));
+  }
+
   // Stats are accumulated in locals above and booked once per call.
   CoreCacheStats& st = stats_[static_cast<u64>(core)];
   const u64 reuse = static_cast<u64>(reuse_per_line);
@@ -177,11 +193,15 @@ Time MemorySystem::dma_write(Address addr, u64 bytes, Time now) {
   // Invalidate any stale cached copies (coherent DMA). erase() reports the
   // previous owner, so one directory probe per line settles both the
   // lookup and the removal.
+  i64 invalidated = 0;
   for (LineAddr line = first; line <= last; ++line) {
     const CoreId prev = owner_.erase(line);
     if (prev == kNoCore) continue;
     caches_[static_cast<u64>(prev)].invalidate(line);
+    ++invalidated;
   }
+  SAISIM_TRACE_EVENT(util::Subsystem::kMem, trace::EventType::kDmaWrite, now,
+                     -1, -1, -1, static_cast<i64>(bytes), invalidated);
   return dram_occupy(bytes, now);
 }
 

@@ -3,6 +3,9 @@
 #include <memory>
 #include <utility>
 
+#include "trace/tracer.hpp"
+#include "util/log.hpp"
+
 namespace saisim::net {
 
 ClientNic::ClientNic(sim::Simulation& simulation, Network& network,
@@ -48,10 +51,20 @@ void ClientNic::enqueue(Packet p) {
   Queue& queue = queues_[static_cast<u64>(q)];
   if (queue.outstanding >= cfg_.ring_capacity) {
     ++stats_.dropped;  // RX overrun; upper layers recover via timeout
+    SAISIM_TRACE_EVENT(util::Subsystem::kNet, trace::EventType::kNicDrop,
+                       now(), self_, -1, p.request,
+                       static_cast<i64>(p.payload_bytes), q);
+    SAISIM_LOG_AT(util::Subsystem::kNet, LogLevel::kDebug,
+                  "rx overrun: queue " << q << " dropped request "
+                                       << p.request << " ("
+                                       << p.payload_bytes << " B)");
     return;
   }
   ++queue.outstanding;
   ++stats_.rx_messages;
+  SAISIM_TRACE_EVENT(util::Subsystem::kNet, trace::EventType::kNicRx, now(),
+                     self_, -1, p.request,
+                     static_cast<i64>(p.payload_bytes), q);
   queue.pending.push_back(std::move(p));
   if (static_cast<int>(queue.pending.size()) >= cfg_.coalesce_count) {
     raise_interrupt(q);

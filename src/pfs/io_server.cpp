@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracer.hpp"
+
 namespace saisim::pfs {
 
 IoServer::IoServer(sim::Simulation& simulation, net::Network& network,
@@ -49,12 +51,18 @@ Time IoServer::disk_occupy(u64 bytes, Time ready_at, bool may_cache,
 
 void IoServer::on_read_request(net::Packet req) {
   ++stats_.requests;
+  SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kServerRecv,
+                     now(), self_, -1, req.request, req.strip_index,
+                     static_cast<i64>(req.span_bytes));
   const Time ready_at = disk_occupy(
       req.span_bytes, now() + cfg_.request_service + slowdown_,
       /*may_cache=*/true, req.file_offset);
 
   sim().at(ready_at, [this, req = std::move(req)]() mutable {
     stats_.bytes_served += req.span_bytes;
+    SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kServerSend,
+                       now(), self_, -1, req.request, req.strip_index,
+                       static_cast<i64>(req.span_bytes));
     net::Packet reply;
     reply.id = next_packet_id_++;
     reply.kind = net::PacketKind::kPfsData;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "trace/tracer.hpp"
+#include "util/log.hpp"
+
 namespace saisim::pfs {
 
 PfsClient::PfsClient(sim::Simulation& simulation, net::Network& network,
@@ -59,6 +62,10 @@ RequestId PfsClient::read(ProcessId proc, std::optional<CoreId> hint,
   ++stats_.reads_issued;
   auto [it, inserted] = pending_.emplace(id, std::move(pr));
   SAISIM_CHECK(inserted);
+  SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsIssue,
+                     now(), self_, hint.value_or(kNoCore), id,
+                     static_cast<i64>(bytes),
+                     static_cast<i64>(it->second.spans.size()));
   for (u64 s = 0; s < it->second.spans.size(); ++s) {
     send_strip_request(id, it->second, s);
   }
@@ -183,6 +190,10 @@ void PfsClient::on_timeout(RequestId id) {
     if (pr.received[s]) continue;
     ++stats_.retransmits;
     ++pr.retransmitted;
+    SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kDebug,
+                  "retransmitting strip " << s << " of request " << id
+                                          << " (retries left "
+                                          << pr.retries_left << ")");
     send_strip_request(id, pr, s);
   }
   // RTO backoff: congestion (as opposed to loss) must not be amplified by
@@ -220,6 +231,9 @@ void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   }
   pr.received[s] = true;
   ++stats_.strips_received;
+  SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsStrip, at,
+                     self_, handler, p.request, static_cast<i64>(s),
+                     static_cast<i64>(p.payload_bytes));
   if (pr.strip_consumer) pr.strip_consumer(p, handler, at);
   SAISIM_CHECK(pr.outstanding > 0);
   if (--pr.outstanding > 0) return;
@@ -237,7 +251,16 @@ void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   auto cb = std::move(pr.on_complete);
   pending_.erase(it);
   ++stats_.reads_completed;
-  stats_.read_latency_us.add((result.completed_at - result.issued_at).microseconds());
+  const Time latency = result.completed_at - result.issued_at;
+  stats_.read_latency_us.add(latency.microseconds());
+  // Integer-microsecond histogram feeding the run's latency recorder
+  // (trace/counter_registry.hpp).
+  stats_.read_latency_us_hist.add(
+      static_cast<u64>(latency.picoseconds() / 1'000'000));
+  SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsComplete,
+                     at, self_, handler, result.request,
+                     static_cast<i64>(result.buffer.bytes),
+                     static_cast<i64>(result.retransmitted_strips));
   if (cb) cb(result);
 }
 

@@ -18,6 +18,7 @@
 #include "mem/address_space.hpp"
 #include "net/nic.hpp"
 #include "pfs/stripe_layout.hpp"
+#include "stats/histogram.hpp"
 #include "stats/summary.hpp"
 
 namespace saisim::pfs {
@@ -53,6 +54,9 @@ struct PfsClientStats {
   u64 duplicate_strips = 0;
   stats::Summary read_latency_us;
   stats::Summary write_latency_us;
+  /// Integer-µs read-latency distribution, merged into the run's
+  /// CounterRegistry latency recorder at the end-of-run barrier.
+  stats::Log2Histogram read_latency_us_hist;
 };
 
 class PfsClient : public sim::Actor {

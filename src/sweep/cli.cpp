@@ -3,7 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <string_view>
+
+#include "trace/runtime.hpp"
+#include "util/log.hpp"
+#include "util/subsystem.hpp"
 
 namespace saisim::sweep {
 
@@ -20,7 +26,10 @@ namespace {
 const char* cli_usage() {
   return "sweep options: --threads=N  --format=text|csv|json  --no-progress\n"
          "               --config=FILE  --set dotted.path=value  "
-         "--dump-config";
+         "--dump-config\n"
+         "               --trace=FILE  --trace-filter=subsys,...  "
+         "--metrics=FILE\n"
+         "               --log-level=LEVEL|subsys=LEVEL,...";
 }
 
 CliOptions parse_cli(int* argc, char** argv) {
@@ -67,6 +76,20 @@ CliOptions parse_cli(int* argc, char** argv) {
       opts.config_file = arg.substr(9);
     } else if (arg == "--dump-config") {
       opts.dump_config = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      if (arg.size() == 8) bad_flag(argv[i], "--trace=FILE");
+      opts.trace_file = arg.substr(8);
+    } else if (arg.rfind("--trace-filter=", 0) == 0) {
+      if (arg.size() == 15) bad_flag(argv[i], "--trace-filter=subsys,...");
+      opts.trace_filter = arg.substr(15);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      if (arg.size() == 10) bad_flag(argv[i], "--metrics=FILE");
+      opts.metrics_file = arg.substr(10);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      if (arg.size() == 12) {
+        bad_flag(argv[i], "--log-level=LEVEL or subsys=LEVEL,...");
+      }
+      opts.log_spec = arg.substr(12);
     } else {
       argv[out++] = argv[i];
     }
@@ -74,6 +97,72 @@ CliOptions parse_cli(int* argc, char** argv) {
   *argc = out;
   argv[out] = nullptr;
   return opts;
+}
+
+namespace {
+
+/// "apic,cpu,pfs" → subsystem mask; exits 2 on an unknown name.
+trace::SubsystemMask parse_trace_filter(const std::string& spec) {
+  trace::SubsystemMask mask = 0;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view name = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(comma + 1);
+    if (name.empty()) continue;
+    const std::optional<util::Subsystem> s = util::subsystem_from_name(name);
+    if (!s) {
+      std::fprintf(stderr,
+                   "saisim: unknown subsystem '%.*s' in --trace-filter "
+                   "(want one of:",
+                   static_cast<int>(name.size()), name.data());
+      for (const char* n : util::kSubsystemNames) {
+        std::fprintf(stderr, " %s", n);
+      }
+      std::fprintf(stderr, ")\n");
+      std::exit(2);
+    }
+    mask |= trace::subsystem_bit(*s);
+  }
+  if (mask == 0) mask = trace::kAllSubsystems;
+  return mask;
+}
+
+}  // namespace
+
+void apply_observability(const CliOptions& cli) {
+  // resolve_config is re-entered freely (e.g. once per registered
+  // benchmark), but the observability state is process-wide: apply the
+  // first call's options and make later calls no-ops.
+  static std::once_flag once;
+  std::call_once(once, [&cli] {
+    // Env first, flag second: --log-level wins over $SAISIM_LOG.
+    Log::init_from_env();
+    if (!cli.log_spec.empty()) {
+      if (const auto err = Log::configure(cli.log_spec)) {
+        std::fprintf(stderr, "saisim: bad --log-level: %s\n", err->c_str());
+        std::exit(2);
+      }
+    }
+    trace::RuntimeOptions& topts = trace::options();
+    topts.trace_file = cli.trace_file;
+    topts.metrics_file = cli.metrics_file;
+    topts.events = !cli.trace_file.empty();
+    topts.collect = topts.events || !cli.metrics_file.empty();
+    if (!cli.trace_filter.empty()) {
+      topts.mask = parse_trace_filter(cli.trace_filter);
+    }
+    if (topts.collect) {
+      // Export once, after main and every worker has finished — benches
+      // have no common shutdown path, so atexit is the one shared hook.
+      // Construct the collector singleton *before* registering the
+      // handler: exit runs destructors/handlers in reverse registration
+      // order, so this keeps the collector alive until finalize() ran.
+      trace::RunCollector::instance();
+      std::atexit([] { trace::RunCollector::instance().finalize(); });
+    }
+  });
 }
 
 }  // namespace saisim::sweep

@@ -10,6 +10,12 @@
 //   --set P=V       override one described config field by dotted path
 //                   (repeatable; also accepted as --set=P=V)
 //   --dump-config   print the resolved base config as JSON and exit
+//   --trace=FILE    write a Chrome/Perfetto trace-event JSON of every run
+//   --trace-filter=subsys,...  limit event recording to the named
+//                   subsystems (e.g. apic,cpu,pfs); default: all
+//   --metrics=FILE  write every run's counter registry as CSV
+//   --log-level=SPEC  per-subsystem log levels ("debug" or
+//                   "pfs=debug,net=warn"); overrides $SAISIM_LOG
 // `parse_cli` strips the flags it recognises from argv so the remainder
 // can be handed to google-benchmark untouched. The config flags are only
 // collected here; `resolve_config` (cli_config.hpp) applies them to a
@@ -33,6 +39,14 @@ struct CliOptions {
   std::string config_file;
   /// --dump-config: print the resolved base config as JSON and exit 0.
   bool dump_config = false;
+  /// --trace=FILE: Chrome trace-event JSON output ("" = off).
+  std::string trace_file;
+  /// --trace-filter=subsys,... comma list ("" = all subsystems).
+  std::string trace_filter;
+  /// --metrics=FILE: counter-registry CSV output ("" = off).
+  std::string metrics_file;
+  /// --log-level=SPEC log spec ("" = env/default only).
+  std::string log_spec;
 
   /// csv/json selected: the binary should print machine output only.
   bool machine_output() const { return format != Format::kText; }
@@ -41,6 +55,14 @@ struct CliOptions {
 /// Parses and removes recognised flags from argv (argc is updated).
 /// Exits with a message on a malformed value.
 CliOptions parse_cli(int* argc, char** argv);
+
+/// Installs the observability side of the CLI process-wide: log levels
+/// (from $SAISIM_LOG, then --log-level), the trace subsystem filter, and
+/// the trace/metrics output files, and registers the export-at-exit hook.
+/// Called by resolve_config — idempotent, only the first call applies
+/// (resolve_config runs once per benchmark registration in some binaries).
+/// Exits 2 on an unknown subsystem or log level.
+void apply_observability(const CliOptions& cli);
 
 /// One-line usage string for the flags parse_cli understands.
 const char* cli_usage();

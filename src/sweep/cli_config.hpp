@@ -70,6 +70,9 @@ std::vector<std::string> apply_cli_config(const CliOptions& cli,
 /// --dump-config (print resolved config as JSON, exit 0).
 template <class Config>
 void resolve_config(const CliOptions& cli, Config& cfg) {
+  // Every sweep binary funnels through here, so the observability flags
+  // (--trace/--metrics/--log-level) need no per-binary plumbing.
+  apply_observability(cli);
   const std::vector<std::string> errors = apply_cli_config(cli, cfg);
   if (!errors.empty()) {
     for (const std::string& e : errors) {

@@ -1,0 +1,106 @@
+// Named monotonic counters and latency recorders.
+//
+// Registration (finding or creating a named counter) takes a mutex — it is
+// the cold path, done once per subsystem per run. Increments and latency
+// records are lock-free relaxed atomics on stable addresses, so concurrent
+// sweep workers can share one registry without contention or UB (the TSan
+// job exercises exactly that). Iteration (`to_table`, `names`) is sorted by
+// name, so exported metrics are deterministic regardless of registration
+// order.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+#include "util/types.hpp"
+
+namespace saisim::trace {
+
+class CounterRegistry {
+ public:
+  /// A monotonic counter. Address is stable for the registry's lifetime.
+  class Counter {
+   public:
+    void add(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+    u64 value() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<u64> v_{0};
+  };
+
+  /// Log2-bucketed latency recorder (same bucketing as stats::Log2Histogram
+  /// but with atomic buckets so workers can record concurrently).
+  class LatencyRecorder {
+   public:
+    static constexpr int kBuckets = 64;
+
+    void record(u64 v) {
+      const int b = v == 0 ? 0 : static_cast<int>(std::bit_width(v)) - 1;
+      buckets_[static_cast<u64>(b)].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      total_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    /// Folds a per-run Log2Histogram (same bucketing) into this recorder —
+    /// the end-of-run barrier merges each subsystem's single-threaded
+    /// histogram rather than re-recording every sample.
+    void merge(const stats::Log2Histogram& h) {
+      for (int i = 0; i < kBuckets; ++i) {
+        const u64 n = h.bucket(i);
+        if (n) buckets_[static_cast<u64>(i)].fetch_add(
+            n, std::memory_order_relaxed);
+      }
+      count_.fetch_add(h.count(), std::memory_order_relaxed);
+      total_.fetch_add(h.total(), std::memory_order_relaxed);
+    }
+
+    u64 count() const { return count_.load(std::memory_order_relaxed); }
+    u64 total() const { return total_.load(std::memory_order_relaxed); }
+    u64 bucket(int i) const {
+      return buckets_[static_cast<u64>(i)].load(std::memory_order_relaxed);
+    }
+
+    /// Approximate quantile: upper edge of the containing bucket (matches
+    /// stats::Log2Histogram::quantile).
+    u64 quantile(double q) const;
+
+   private:
+    std::atomic<u64> buckets_[kBuckets] = {};
+    std::atomic<u64> count_{0};
+    std::atomic<u64> total_{0};
+  };
+
+  /// Finds or creates the named counter / recorder.
+  Counter& counter(std::string_view name);
+  LatencyRecorder& latency(std::string_view name);
+
+  /// Current value of a named counter (0 if never registered).
+  u64 value(std::string_view name) const;
+
+  /// Sorted names of registered plain counters.
+  std::vector<std::string> names() const;
+
+  /// Flattened, name-sorted snapshot: plain counters as (name, value);
+  /// each latency recorder expands to derived integer rows
+  /// (name.count/.total/.p50/.p99).
+  std::vector<std::pair<std::string, u64>> snapshot() const;
+
+  /// Two-column {"counter", "value"} table of snapshot().
+  stats::Table to_table() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyRecorder>, std::less<>>
+      latencies_;
+};
+
+}  // namespace saisim::trace

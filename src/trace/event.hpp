@@ -1,0 +1,105 @@
+// Typed cross-layer trace events.
+//
+// Every event is a fixed-size POD stamped with simulated time, so recording
+// is a bounds check and a struct store, and two runs of the same config
+// produce byte-identical event streams (the DES core is single-threaded and
+// sim-time ordered). The `a`/`b`/`c` payload fields are interpreted per
+// event type; the table below is the contract the exporters and the span
+// builder rely on.
+//
+//   type                node        core          a               b            c
+//   nic.rx              client      -             payload bytes   queue        -
+//   nic.drop            client      -             payload bytes   queue        -
+//   apic.irq            -           dest core     vector          hinted 0/1   -
+//   cpu.softirq.begin   -           core          -               -            -
+//   cpu.softirq.end     -           core          -               -            -
+//   mem.miss            -           core          lines walked    c2c misses   dram misses
+//   mem.owner_transfer  -           core          c2c misses      -            -
+//   mem.dma             -           -             bytes           lines inval  -
+//   pfs.issue           client      aff hint      bytes           strips       -
+//   pfs.strip           client      handler core  strip index     payload      -
+//   pfs.complete        client      final core    bytes           retransmits  -
+//   server.recv         server      -             strip index     span bytes   -
+//   server.send         server      -             strip index     span bytes   -
+//   ior.wake            client      home core     final handler   migrated 0/1 -
+//   ior.consume.begin   client      core          -               -            -
+//   ior.consume.migration client    core          migration ps    moved lines  -
+//   ior.consume.end     client      core          -               bytes        -
+#pragma once
+
+#include "util/subsystem.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace saisim::trace {
+
+enum class EventType : u8 {
+  kNicRx = 0,
+  kNicDrop,
+  kIrqRaise,
+  kSoftirqBegin,
+  kSoftirqEnd,
+  kCacheMiss,
+  kOwnerTransfer,
+  kDmaWrite,
+  kPfsIssue,
+  kPfsStrip,
+  kPfsComplete,
+  kServerRecv,
+  kServerSend,
+  kWake,
+  kConsumeBegin,
+  kConsumeMigration,
+  kConsumeEnd,
+};
+inline constexpr int kNumEventTypes = 17;
+
+inline constexpr const char* kEventNames[kNumEventTypes] = {
+    "nic.rx",
+    "nic.drop",
+    "apic.irq",
+    "cpu.softirq.begin",
+    "cpu.softirq.end",
+    "mem.miss",
+    "mem.owner_transfer",
+    "mem.dma",
+    "pfs.issue",
+    "pfs.strip",
+    "pfs.complete",
+    "server.recv",
+    "server.send",
+    "ior.wake",
+    "ior.consume.begin",
+    "ior.consume.migration",
+    "ior.consume.end",
+};
+
+inline constexpr const char* event_name(EventType t) {
+  return kEventNames[static_cast<u8>(t)];
+}
+
+/// Which subsystem emits each event type — the unit `--trace-filter`
+/// selects by.
+inline constexpr util::Subsystem event_subsystem(EventType t) {
+  using S = util::Subsystem;
+  constexpr S map[kNumEventTypes] = {
+      S::kNet,      S::kNet,      S::kApic,     S::kCpu,      S::kCpu,
+      S::kMem,      S::kMem,      S::kMem,      S::kPfs,      S::kPfs,
+      S::kPfs,      S::kPfs,      S::kPfs,      S::kWorkload, S::kWorkload,
+      S::kWorkload, S::kWorkload,
+  };
+  return map[static_cast<u8>(t)];
+}
+
+struct Event {
+  Time when;
+  EventType type = EventType::kNicRx;
+  i32 node = -1;
+  i32 core = -1;
+  RequestId request = -1;
+  i64 a = 0;
+  i64 b = 0;
+  i64 c = 0;
+};
+
+}  // namespace saisim::trace

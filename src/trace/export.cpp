@@ -1,0 +1,161 @@
+#include "trace/export.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace saisim::trace {
+
+namespace {
+
+void append_common(std::string& out, const char* name, const char* cat,
+                   i64 pid, i64 tid, i64 ts_ps) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"cat\":\"";
+  out += cat;
+  out += "\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  out += format_us(ts_ps);
+}
+
+void append_metadata(std::string& out, i64 pid, const std::string& name,
+                     i64 sort_index) {
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"args\":{\"name\":\"";
+  out += stats::json_escape(name);
+  out += "\"}},\n";
+  out += "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"args\":{\"sort_index\":";
+  out += std::to_string(sort_index);
+  out += "}},\n";
+}
+
+}  // namespace
+
+std::string format_us(i64 ps) {
+  char buf[40];
+  const u64 abs = ps < 0 ? static_cast<u64>(-ps) : static_cast<u64>(ps);
+  std::snprintf(buf, sizeof buf, "%s%llu.%06llu", ps < 0 ? "-" : "",
+                static_cast<unsigned long long>(abs / 1'000'000),
+                static_cast<unsigned long long>(abs % 1'000'000));
+  return buf;
+}
+
+std::string to_chrome_json(const std::vector<RunTrace>& runs) {
+  std::string out;
+  out.reserve(runs.size() * 4096 + 256);
+  out += "{\"traceEvents\":[\n";
+  // Every record is emitted with a trailing ",\n"; the last comma is
+  // stripped once at the end.
+  for (u64 ri = 0; ri < runs.size(); ++ri) {
+    const RunTrace& run = runs[ri];
+    const i64 pid = static_cast<i64>(ri) + 1;
+    const i64 span_pid = 1000 + static_cast<i64>(ri);
+    append_metadata(out, pid, "run: " + run.label,
+                    static_cast<i64>(ri) * 2);
+    append_metadata(out, span_pid, "spans: " + run.label,
+                    static_cast<i64>(ri) * 2 + 1);
+
+    // Raw timeline: begin/end pairs become "X" complete slices (paired by
+    // core+request, LIFO — user-priority consume items can timeslice-rotate
+    // on one core, so the request id is part of the key); everything else
+    // is an "i" instant. Events are already in deterministic recording
+    // order.
+    std::map<std::pair<i64, RequestId>, std::vector<const Event*>> open;
+    for (const Event& e : run.events) {
+      const i64 tid = e.core >= 0 ? e.core : 0;
+      switch (e.type) {
+        case EventType::kSoftirqBegin:
+        case EventType::kConsumeBegin:
+          open[{tid, e.request}].push_back(&e);
+          break;
+        case EventType::kSoftirqEnd:
+        case EventType::kConsumeEnd: {
+          auto it = open.find({tid, e.request});
+          if (it == open.end() || it->second.empty()) break;
+          const Event* begin = it->second.back();
+          it->second.pop_back();
+          append_common(
+              out,
+              e.type == EventType::kSoftirqEnd ? "softirq" : "consume",
+              e.type == EventType::kSoftirqEnd ? "cpu" : "workload", pid,
+              tid, begin->when.picoseconds());
+          out += ",\"ph\":\"X\",\"dur\":";
+          out += format_us((e.when - begin->when).picoseconds());
+          out += ",\"args\":{\"request\":";
+          out += std::to_string(e.request);
+          out += "}},\n";
+          break;
+        }
+        default: {
+          append_common(out, event_name(e.type),
+                        util::kSubsystemNames[static_cast<u8>(
+                            event_subsystem(e.type))],
+                        pid, tid, e.when.picoseconds());
+          out += ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"request\":";
+          out += std::to_string(e.request);
+          out += ",\"node\":";
+          out += std::to_string(e.node);
+          out += ",\"a\":";
+          out += std::to_string(e.a);
+          out += ",\"b\":";
+          out += std::to_string(e.b);
+          out += ",\"c\":";
+          out += std::to_string(e.c);
+          out += "}},\n";
+          break;
+        }
+      }
+    }
+
+    // Request-lifecycle spans: six back-to-back phase slices per request,
+    // one track (tid) per request.
+    for (const RequestSpan& s : run.spans) {
+      i64 cursor = s.issue.picoseconds();
+      for (int p = 0; p < kNumPhases; ++p) {
+        const i64 dur = s.phase[p].picoseconds();
+        append_common(out, kPhaseNames[p], "span", span_pid, s.request,
+                      cursor);
+        out += ",\"ph\":\"X\",\"dur\":";
+        out += format_us(dur);
+        out += ",\"args\":{\"request\":";
+        out += std::to_string(s.request);
+        out += ",\"bytes\":";
+        out += std::to_string(s.bytes);
+        out += "}},\n";
+        cursor += dur;
+      }
+    }
+  }
+
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);  // drop the trailing comma, keep the \n
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string metrics_csv(const std::vector<RunTrace>& runs) {
+  std::string out = "run,label,counter,value\n";
+  for (u64 ri = 0; ri < runs.size(); ++ri) {
+    const RunTrace& run = runs[ri];
+    for (const auto& [name, value] : run.counters) {
+      out += std::to_string(ri);
+      out += ',';
+      out += run.label;
+      out += ',';
+      out += name;
+      out += ',';
+      out += std::to_string(value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace saisim::trace

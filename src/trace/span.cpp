@@ -1,0 +1,119 @@
+#include "trace/span.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace saisim::trace {
+
+namespace {
+
+struct Milestones {
+  bool issued = false;
+  bool done = false;
+  Time t0, t1, t2, t3, t4, t5;
+  bool has1 = false, has2 = false, has3 = false, has4 = false;
+  i64 migration_ps = 0;
+  i64 bytes = 0;
+  i64 strips = 0;
+};
+
+}  // namespace
+
+std::vector<RequestSpan> build_spans(const std::vector<Event>& events) {
+  // std::map keeps the output request-sorted (and deterministic).
+  std::map<RequestId, Milestones> reqs;
+  for (const Event& e : events) {
+    if (e.request < 0) continue;
+    Milestones& m = reqs[e.request];
+    switch (e.type) {
+      case EventType::kPfsIssue:
+        if (!m.issued) {
+          m.issued = true;
+          m.t0 = e.when;
+          m.bytes = e.a;
+          m.strips = e.b;
+        }
+        break;
+      case EventType::kServerSend:
+        m.t1 = m.has1 ? std::max(m.t1, e.when) : e.when;
+        m.has1 = true;
+        break;
+      case EventType::kNicRx:
+        m.t2 = m.has2 ? std::max(m.t2, e.when) : e.when;
+        m.has2 = true;
+        break;
+      case EventType::kSoftirqBegin:
+        m.t3 = m.has3 ? std::max(m.t3, e.when) : e.when;
+        m.has3 = true;
+        break;
+      case EventType::kSoftirqEnd:
+        m.t4 = m.has4 ? std::max(m.t4, e.when) : e.when;
+        m.has4 = true;
+        break;
+      case EventType::kConsumeMigration:
+        m.migration_ps += e.a;
+        break;
+      case EventType::kConsumeEnd:
+        m.done = true;
+        m.t5 = e.when;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<RequestSpan> out;
+  out.reserve(reqs.size());
+  for (const auto& [request, m] : reqs) {
+    if (!m.issued || !m.done || m.t5 < m.t0) continue;
+    // Clamp each milestone into [previous, t5]: a missing milestone
+    // collapses its phase to zero, and an out-of-order one (late
+    // retransmit softirq, coalesced-interrupt attribution) cannot go
+    // negative. The clamping is what makes the phases sum to t5-t0 exactly.
+    const Time t1 = std::clamp(m.has1 ? m.t1 : m.t0, m.t0, m.t5);
+    const Time t2 = std::clamp(m.has2 ? m.t2 : t1, t1, m.t5);
+    const Time t3 = std::clamp(m.has3 ? m.t3 : t2, t2, m.t5);
+    const Time t4 = std::clamp(m.has4 ? m.t4 : t3, t3, m.t5);
+    RequestSpan s;
+    s.request = request;
+    s.issue = m.t0;
+    s.end = m.t5;
+    s.bytes = m.bytes;
+    s.strips = m.strips;
+    s.phase[static_cast<u8>(Phase::kServer)] = t1 - m.t0;
+    s.phase[static_cast<u8>(Phase::kWire)] = t2 - t1;
+    s.phase[static_cast<u8>(Phase::kIrqQueue)] = t3 - t2;
+    s.phase[static_cast<u8>(Phase::kSoftirq)] = t4 - t3;
+    const Time consume_window = m.t5 - t4;
+    const Time migration =
+        std::clamp(Time::ps(m.migration_ps), Time::zero(), consume_window);
+    s.phase[static_cast<u8>(Phase::kMigration)] = migration;
+    s.phase[static_cast<u8>(Phase::kConsume)] = consume_window - migration;
+    out.push_back(s);
+  }
+  return out;
+}
+
+PhaseTotals phase_totals(const std::vector<RequestSpan>& spans) {
+  PhaseTotals t;
+  for (const RequestSpan& s : spans) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      t.phase_ps[p] += s.phase[p].picoseconds();
+    }
+    t.total_ps += s.total().picoseconds();
+    ++t.spans;
+  }
+  return t;
+}
+
+stats::Table phase_table(const PhaseTotals& totals) {
+  stats::Table t({"phase", "total_us", "share_pct"});
+  for (int p = 0; p < kNumPhases; ++p) {
+    t.add_row({kPhaseNames[p],
+               static_cast<double>(totals.phase_ps[p]) / 1e6,
+               totals.share(static_cast<Phase>(p)) * 100.0});
+  }
+  return t;
+}
+
+}  // namespace saisim::trace

@@ -1,0 +1,84 @@
+// Request-lifecycle spans: the per-request phase breakdown.
+//
+// A read request's life is reconstructed from the event stream via six
+// milestones, each the *last* occurrence across the request's strips (the
+// request is not done until its slowest strip is):
+//
+//   t0  pfs.issue            client issues the striped read
+//   t1  max server.send      last server puts its strip on the wire
+//   t2  max nic.rx           last strip lands in an RX ring
+//   t3  max cpu.softirq.begin  last protocol softirq starts
+//   t4  max cpu.softirq.end    last protocol softirq retires
+//   t5  ior.consume.end      the IOR process finishes reading the buffer
+//
+// Phases are the gaps: server = t1-t0, wire = t2-t1, irq-queue = t3-t2,
+// softirq = t4-t3; the consume window t5-t4 splits into migration (the
+// cache-line c2c + remote-wakeup cycles reported by ior.consume.migration)
+// and consume (the rest). Each milestone is clamped into [previous, t5], so
+// out-of-order edge cases (retransmitted strips whose softirq retires after
+// the consume started, coalesced interrupts attributed to a sibling
+// request) cannot produce negative phases — and the six phases always sum
+// to exactly t5 - t0, which the span-accounting test asserts.
+//
+// Spans key on RequestId, which the PFS client allocates per client node —
+// the breakdown therefore assumes the single-client configs the paper's
+// figures use.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "stats/table.hpp"
+#include "trace/event.hpp"
+
+namespace saisim::trace {
+
+enum class Phase : u8 {
+  kServer = 0,
+  kWire,
+  kIrqQueue,
+  kSoftirq,
+  kMigration,
+  kConsume,
+};
+inline constexpr int kNumPhases = 6;
+
+inline constexpr const char* kPhaseNames[kNumPhases] = {
+    "server", "wire", "irq-queue", "softirq", "migration", "consume",
+};
+
+struct RequestSpan {
+  RequestId request = -1;
+  Time issue;  // t0
+  Time end;    // t5
+  Time phase[kNumPhases] = {};
+  i64 bytes = 0;
+  i64 strips = 0;
+
+  Time total() const { return end - issue; }
+};
+
+/// Reconstructs spans from a run's event stream (recording order). Only
+/// requests with both a pfs.issue and an ior.consume.end become spans;
+/// output is sorted by request id.
+std::vector<RequestSpan> build_spans(const std::vector<Event>& events);
+
+/// Aggregate phase totals across spans, as picoseconds per phase.
+struct PhaseTotals {
+  i64 phase_ps[kNumPhases] = {};
+  i64 total_ps = 0;
+  i64 spans = 0;
+
+  double share(Phase p) const {
+    return total_ps == 0 ? 0.0
+                         : static_cast<double>(phase_ps[static_cast<u8>(p)]) /
+                               static_cast<double>(total_ps);
+  }
+};
+
+PhaseTotals phase_totals(const std::vector<RequestSpan>& spans);
+
+/// {"phase", "total_us", "share_pct"} table of a run's aggregate breakdown.
+stats::Table phase_table(const PhaseTotals& totals);
+
+}  // namespace saisim::trace

@@ -1,16 +1,79 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace saisim {
 
-LogLevel Log::level_ = LogLevel::kOff;
+namespace {
 
-void Log::write(LogLevel lvl, const std::string& msg) {
+constexpr const char* kLevelNames[] = {"trace", "debug", "info", "warn",
+                                       "off"};
+
+}  // namespace
+
+std::optional<LogLevel> log_level_from_name(std::string_view name) {
+  for (int i = 0; i < 5; ++i) {
+    if (name == kLevelNames[i]) return static_cast<LogLevel>(i);
+  }
+  return std::nullopt;
+}
+
+LogLevel Log::levels_[util::kNumSubsystems] = {
+    LogLevel::kOff, LogLevel::kOff, LogLevel::kOff, LogLevel::kOff,
+    LogLevel::kOff, LogLevel::kOff, LogLevel::kOff, LogLevel::kOff,
+    LogLevel::kOff, LogLevel::kOff};
+
+void Log::set_level(LogLevel lvl) {
+  for (auto& l : levels_) l = lvl;
+}
+
+std::optional<std::string> Log::configure(std::string_view spec) {
+  while (!spec.empty()) {
+    const auto comma = spec.find(',');
+    std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      const auto lvl = log_level_from_name(entry);
+      if (!lvl) {
+        return "unknown log level '" + std::string(entry) +
+               "' (want trace|debug|info|warn|off)";
+      }
+      set_level(*lvl);
+      continue;
+    }
+    const auto subsys = util::subsystem_from_name(entry.substr(0, eq));
+    if (!subsys) {
+      return "unknown subsystem '" + std::string(entry.substr(0, eq)) +
+             "' in log spec";
+    }
+    const auto lvl = log_level_from_name(entry.substr(eq + 1));
+    if (!lvl) {
+      return "unknown log level '" + std::string(entry.substr(eq + 1)) +
+             "' for subsystem '" + std::string(entry.substr(0, eq)) + "'";
+    }
+    set_level(*subsys, *lvl);
+  }
+  return std::nullopt;
+}
+
+void Log::init_from_env() {
+  const char* env = std::getenv("SAISIM_LOG");
+  if (!env || !*env) return;
+  if (auto err = configure(env)) {
+    std::fprintf(stderr, "saisim: ignoring SAISIM_LOG: %s\n", err->c_str());
+  }
+}
+
+void Log::write(util::Subsystem s, LogLevel lvl, const std::string& msg) {
   static constexpr const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN"};
   const int idx = static_cast<int>(lvl);
-  std::fprintf(stderr, "[saisim %s] %s\n", idx >= 0 && idx < 4 ? names[idx] : "?",
-               msg.c_str());
+  std::fprintf(stderr, "[saisim %s %s] %s\n",
+               util::kSubsystemNames[static_cast<int>(s)],
+               idx >= 0 && idx < 4 ? names[idx] : "?", msg.c_str());
 }
 
 }  // namespace saisim

@@ -1,5 +1,7 @@
 #include "workload/ior_process.hpp"
 
+#include "trace/tracer.hpp"
+
 namespace saisim::workload {
 
 IorProcess::IorProcess(sim::Simulation& simulation, cpu::CpuSystem& cpus,
@@ -130,6 +132,7 @@ void IorProcess::copy_strip_to_reader(const net::Packet& strip) {
   // of the paper's model.
   const Address addr = strip.dma_addr;
   const u64 bytes = strip.payload_bytes;
+  const RequestId req = strip.request;
   cpus_.core(home_).submit(cpu::WorkItem{
       .prio = cpu::Priority::kKernel,
       .cost =
@@ -141,6 +144,7 @@ void IorProcess::copy_strip_to_reader(const net::Packet& strip) {
           },
       .on_complete = nullptr,
       .tag = "strip-copy",
+      .request = req,
   });
 }
 
@@ -152,14 +156,19 @@ void IorProcess::on_read_complete(const pfs::ReadResult& result) {
   // wakes on a *different* core than the one stamped into the request —
   // the paper's policy (i) vs (ii) gap. Every strip then needs a migration
   // even under SAIs.
+  bool migrated = false;
   if (cfg_.wake_migration_probability > 0.0 &&
       sim().rng().chance(cfg_.wake_migration_probability)) {
     const CoreId target = cpus_.least_loaded(now());
     if (target != home_) {
       home_ = target;
       ++stats_.migrations;
+      migrated = true;
     }
   }
+  SAISIM_TRACE_EVENT(util::Subsystem::kWorkload, trace::EventType::kWake,
+                     now(), -1, home_, result.request, result.final_handler,
+                     migrated ? 1 : 0);
   consume(result);
 }
 
@@ -169,8 +178,20 @@ void IorProcess::consume(const pfs::ReadResult& result) {
       .prio = cpu::Priority::kUser,
       .cost =
           [this, r](Time at) {
+            SAISIM_TRACE_EVENT(util::Subsystem::kWorkload,
+                               trace::EventType::kConsumeBegin, at, -1,
+                               home_, r.request);
+            // Snapshot the home core's c2c-miss count around the buffer
+            // walk: the delta is exactly the strip data migrated into this
+            // core — the paper's per-strip cost M, reported per request so
+            // spans can split the consume window into migration vs compute.
+            const u64 c2c_before = memory_.core_stats(home_).misses_c2c;
             Cycles cost = Cycles::zero();
-            if (r.final_handler != home_) cost += cfg_.remote_wakeup_cycles;
+            Cycles migration_cycles = Cycles::zero();
+            if (r.final_handler != home_) {
+              cost += cfg_.remote_wakeup_cycles;
+              migration_cycles += cfg_.remote_wakeup_cycles;
+            }
             // One block-local walk over the buffer: the first touch of each
             // line is the locality-sensitive access (private-cache hit,
             // cache-to-cache migration, or DRAM refill depending on where
@@ -199,10 +220,28 @@ void IorProcess::consume(const pfs::ReadResult& result) {
             cost += Cycles{static_cast<i64>(
                 r.buffer.bytes *
                 static_cast<u64>(cfg_.compute_centicycles_per_byte) / 100)};
+            const u64 moved = memory_.core_stats(home_).misses_c2c - c2c_before;
+            migration_cycles +=
+                memory_.timings().c2c_transfer * static_cast<i64>(moved);
+            SAISIM_TRACE_EVENT(
+                util::Subsystem::kWorkload,
+                trace::EventType::kConsumeMigration, at, -1, home_,
+                r.request,
+                cpus_.frequency()
+                    .duration(migration_cycles)
+                    .picoseconds(),
+                static_cast<i64>(moved));
             return cost;
           },
-      .on_complete = [this](Time at) { account_io(cfg_.transfer_size, at); },
+      .on_complete =
+          [this, req = r.request](Time at) {
+            SAISIM_TRACE_EVENT(util::Subsystem::kWorkload,
+                               trace::EventType::kConsumeEnd, at, -1, home_,
+                               req, 0, static_cast<i64>(cfg_.transfer_size));
+            account_io(cfg_.transfer_size, at);
+          },
       .tag = "ior-consume",
+      .request = r.request,
   });
 }
 

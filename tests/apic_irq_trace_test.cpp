@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/tracer.hpp"
+
 namespace saisim::apic {
 namespace {
 
@@ -10,6 +12,10 @@ constexpr Frequency kFreq = Frequency::ghz(1.0);
 struct TraceFixture : ::testing::Test {
   sim::Simulation s;
   cpu::CpuSystem cpus{s, 4, kFreq};
+  // IrqTrace is a consumer of the cross-layer tracer: install one scoped to
+  // the apic subsystem, run the scenario, then ingest the recorded stream.
+  trace::Tracer tracer{trace::subsystem_bit(util::Subsystem::kApic)};
+  trace::TraceScope scope{&tracer};
 
   InterruptMessage msg(CoreId hint, RequestId req) {
     InterruptMessage m;
@@ -18,14 +24,21 @@ struct TraceFixture : ::testing::Test {
     m.softirq_cost = [](CoreId, Time) { return Cycles{100}; };
     return m;
   }
+
+  IrqTrace ingested() {
+    IrqTrace trace;
+    trace.ingest(tracer);
+    return trace;
+  }
 };
+
+#if defined(SAISIM_TRACING_ENABLED)
 
 TEST_F(TraceFixture, RecordsEveryRoutingDecision) {
   IoApic apic(s, cpus, std::make_unique<SourceAwarePolicy>());
-  IrqTrace trace;
-  trace.attach(apic);
   for (int i = 0; i < 5; ++i) apic.raise(msg(1, 7));
   s.run();
+  const IrqTrace trace = ingested();
   EXPECT_EQ(trace.size(), 5u);
   EXPECT_EQ(trace.per_core().at(1), 5u);
   EXPECT_DOUBLE_EQ(trace.hinted_fraction(), 1.0);
@@ -33,22 +46,19 @@ TEST_F(TraceFixture, RecordsEveryRoutingDecision) {
 
 TEST_F(TraceFixture, PeerLocalityPerfectUnderSourceAware) {
   IoApic apic(s, cpus, std::make_unique<SourceAwarePolicy>());
-  IrqTrace trace;
-  trace.attach(apic);
   // Three requests, each with 4 peer interrupts hinted at its own core.
   for (RequestId r = 0; r < 3; ++r)
     for (int i = 0; i < 4; ++i) apic.raise(msg(static_cast<CoreId>(r), r));
   s.run();
-  EXPECT_DOUBLE_EQ(trace.peer_locality(), 1.0);
+  EXPECT_DOUBLE_EQ(ingested().peer_locality(), 1.0);
 }
 
 TEST_F(TraceFixture, PeerLocalityScatteredUnderRoundRobin) {
   IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>());
-  IrqTrace trace;
-  trace.attach(apic);
   // One request, 8 peer interrupts spread over 4 cores round-robin.
   for (int i = 0; i < 8; ++i) apic.raise(msg(kNoCore, 1));
   s.run();
+  const IrqTrace trace = ingested();
   // Modal core holds 2 of 8 interrupts.
   EXPECT_DOUBLE_EQ(trace.peer_locality(), 0.25);
   EXPECT_DOUBLE_EQ(trace.hinted_fraction(), 0.0);
@@ -56,34 +66,48 @@ TEST_F(TraceFixture, PeerLocalityScatteredUnderRoundRobin) {
 
 TEST_F(TraceFixture, SingleInterruptRequestsDoNotSkewLocality) {
   IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>());
-  IrqTrace trace;
-  trace.attach(apic);
   // Many single-interrupt requests (trivially "local") plus one scattered
   // request: only the scattered one counts.
   for (RequestId r = 10; r < 20; ++r) apic.raise(msg(kNoCore, r));
   for (int i = 0; i < 4; ++i) apic.raise(msg(kNoCore, 1));
   s.run();
-  EXPECT_DOUBLE_EQ(trace.peer_locality(), 0.25);
+  EXPECT_DOUBLE_EQ(ingested().peer_locality(), 0.25);
 }
+
+TEST_F(TraceFixture, ActivityTableBucketsByWindow) {
+  IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>(),
+              /*delivery_latency=*/Time::ns(1));
+  apic.raise(msg(kNoCore, 1));
+  s.after(Time::ms(3), [&] { apic.raise(msg(kNoCore, 2)); });
+  s.run();
+  const auto t = ingested().activity_table(Time::ms(1), 4);
+  EXPECT_EQ(t.rows(), 2u);  // two distinct 1 ms windows
+  EXPECT_EQ(t.cols(), 5u);  // window + 4 cores
+}
+
+TEST_F(TraceFixture, IngestFiltersNonApicEvents) {
+  // A stream mixing subsystems: only the apic.irq events survive ingest.
+  std::vector<trace::Event> events;
+  events.push_back({Time::ns(1), trace::EventType::kNicRx, 0, -1, 1, 64, 0, 0});
+  events.push_back(
+      {Time::ns(2), trace::EventType::kIrqRaise, -1, 2, 1, 32, 1, 0});
+  events.push_back(
+      {Time::ns(3), trace::EventType::kSoftirqBegin, -1, 2, 1, 0, 0, 0});
+  IrqTrace trace;
+  trace.ingest(events);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].dest, 2);
+  EXPECT_EQ(trace.events()[0].vector, 32);
+  EXPECT_TRUE(trace.events()[0].hinted);
+}
+
+#endif  // SAISIM_TRACING_ENABLED
 
 TEST_F(TraceFixture, EmptyTraceIsNeutral) {
   IrqTrace trace;
   EXPECT_EQ(trace.size(), 0u);
   EXPECT_DOUBLE_EQ(trace.peer_locality(), 1.0);
   EXPECT_DOUBLE_EQ(trace.hinted_fraction(), 0.0);
-}
-
-TEST_F(TraceFixture, ActivityTableBucketsByWindow) {
-  IoApic apic(s, cpus, std::make_unique<RoundRobinPolicy>(),
-              /*delivery_latency=*/Time::ns(1));
-  IrqTrace trace;
-  trace.attach(apic);
-  apic.raise(msg(kNoCore, 1));
-  s.after(Time::ms(3), [&] { apic.raise(msg(kNoCore, 2)); });
-  s.run();
-  const auto t = trace.activity_table(Time::ms(1), 4);
-  EXPECT_EQ(t.rows(), 2u);  // two distinct 1 ms windows
-  EXPECT_EQ(t.cols(), 5u);  // window + 4 cores
 }
 
 }  // namespace

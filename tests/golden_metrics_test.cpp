@@ -20,6 +20,7 @@
 
 #include "core/experiment.hpp"
 #include "memsim/memsim.hpp"
+#include "trace/tracer.hpp"
 
 namespace saisim {
 namespace {
@@ -88,6 +89,28 @@ TEST(GoldenMetrics, Experiment3GigSourceAware) {
   const RunMetrics m = run_experiment(small_experiment(3.0));
   EXPECT_EQ(metrics_fingerprint(m), "406286f58a1029db.3fc2e40d4b04bd5f.3fbf8c6946df8696.41a1f59df4000000.41825b0d58000000.0000000000800000.0000000d2d6be2df.0000000000000000.0000000000000084.0000000000000000.0000000000000000.00000000000025e0.40a6384b608c825a.406286f58a1029db.");
 }
+
+#if defined(SAISIM_TRACING_ENABLED)
+// The tracer is purely observational: running the same experiments with
+// event recording enabled at runtime must reproduce the goldens above
+// bit-for-bit. (The tracing-disabled case is the plain tests — the tracer
+// is compiled in but no sink is installed.)
+TEST(GoldenMetrics, Experiment1GigUnchangedWithTracingEnabled) {
+  trace::Tracer tracer;
+  trace::TraceScope scope(&tracer);
+  const RunMetrics m = run_experiment(small_experiment(1.0));
+  EXPECT_GT(tracer.size(), 0u);  // instrumentation actually recorded
+  EXPECT_EQ(metrics_fingerprint(m), "405ab2a60633f5ec.3fcd0fd371f6d543.3fbf61abcadbc100.41a8cb5676000000.41825b0d58000000.0000000000800000.000000124a069387.0000000000014000.0000000000000084.0000000000000000.0000000000000000.0000000000000000.40add8635ea0ba26.405ab2a60633f5ec.");
+}
+
+TEST(GoldenMetrics, Experiment3GigUnchangedWithTracingEnabled) {
+  trace::Tracer tracer;
+  trace::TraceScope scope(&tracer);
+  const RunMetrics m = run_experiment(small_experiment(3.0));
+  EXPECT_GT(tracer.size(), 0u);
+  EXPECT_EQ(metrics_fingerprint(m), "406286f58a1029db.3fc2e40d4b04bd5f.3fbf8c6946df8696.41a1f59df4000000.41825b0d58000000.0000000000800000.0000000d2d6be2df.0000000000000000.0000000000000084.0000000000000000.0000000000000000.00000000000025e0.40a6384b608c825a.406286f58a1029db.");
+}
+#endif  // SAISIM_TRACING_ENABLED
 
 TEST(GoldenMetrics, MemsimPoint) {
   memsim::MemsimConfig cfg;

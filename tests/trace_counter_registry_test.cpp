@@ -1,0 +1,119 @@
+#include "trace/counter_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace saisim::trace {
+namespace {
+
+TEST(CounterRegistry, FindOrCreateIsStable) {
+  CounterRegistry reg;
+  CounterRegistry::Counter& a = reg.counter("nic.rx");
+  a.add(3);
+  // Same name → same counter object (stable address).
+  EXPECT_EQ(&reg.counter("nic.rx"), &a);
+  reg.counter("nic.rx").add();
+  EXPECT_EQ(reg.value("nic.rx"), 4u);
+}
+
+TEST(CounterRegistry, UnregisteredValueIsZero) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.value("never.seen"), 0u);
+}
+
+TEST(CounterRegistry, NamesAreSorted) {
+  CounterRegistry reg;
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.counter("mid");
+  const std::vector<std::string> names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(CounterRegistry, SnapshotExpandsLatencyRecorders) {
+  CounterRegistry reg;
+  reg.counter("plain").add(5);
+  reg.latency("lat").record(100);
+  reg.latency("lat").record(200);
+  const auto snap = reg.snapshot();
+  // name-sorted: lat.count, lat.p50, lat.p99, lat.total, plain
+  ASSERT_EQ(snap.size(), 5u);
+  EXPECT_EQ(snap[0].first, "lat.count");
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[3].first, "lat.total");
+  EXPECT_EQ(snap[3].second, 300u);
+  EXPECT_EQ(snap[4].first, "plain");
+  EXPECT_EQ(snap[4].second, 5u);
+}
+
+TEST(CounterRegistry, LatencyQuantileMatchesLog2Histogram) {
+  CounterRegistry reg;
+  stats::Log2Histogram h;
+  CounterRegistry::LatencyRecorder& lat = reg.latency("l");
+  for (u64 v : {1u, 2u, 3u, 100u, 1000u, 5000u, 5001u, 100000u}) {
+    h.add(v);
+    lat.record(v);
+  }
+  EXPECT_EQ(lat.count(), h.count());
+  EXPECT_EQ(lat.total(), h.total());
+  EXPECT_EQ(lat.quantile(0.5), h.quantile(0.5));
+  EXPECT_EQ(lat.quantile(0.99), h.quantile(0.99));
+}
+
+TEST(CounterRegistry, MergeFoldsAHistogramIn) {
+  CounterRegistry reg;
+  stats::Log2Histogram h;
+  for (u64 v = 1; v <= 64; ++v) h.add(v);
+  reg.latency("l").record(7);
+  reg.latency("l").merge(h);
+  EXPECT_EQ(reg.latency("l").count(), 65u);
+  EXPECT_EQ(reg.latency("l").total(), 7u + 64u * 65u / 2u);
+}
+
+TEST(CounterRegistry, ToTableHasOneRowPerSnapshotEntry) {
+  CounterRegistry reg;
+  reg.counter("a").add(1);
+  reg.latency("b").record(10);
+  const stats::Table t = reg.to_table();
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.rows(), 5u);  // a + b.{count,p50,p99,total}
+}
+
+// The concurrency contract: registration is mutex-guarded, increments are
+// relaxed atomics on stable addresses. Run under TSan this proves the
+// lock-free hot path is race-free; run plain it proves no update is lost.
+TEST(CounterRegistry, ConcurrentMixedUseIsExact) {
+  CounterRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr u64 kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&reg, w] {
+      for (u64 i = 0; i < kPerThread; ++i) {
+        // Both paths hammered concurrently: find-or-create (two shared
+        // names + one per-thread name) and the atomic increments.
+        reg.counter("shared").add();
+        reg.latency("lat").record(i + 1);
+        reg.counter("own." + std::to_string(w)).add(2);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(reg.value("shared"), kThreads * kPerThread);
+  EXPECT_EQ(reg.latency("lat").count(), kThreads * kPerThread);
+  EXPECT_EQ(reg.latency("lat").total(),
+            kThreads * (kPerThread * (kPerThread + 1) / 2));
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(reg.value("own." + std::to_string(w)), 2 * kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace saisim::trace
