@@ -28,7 +28,7 @@ ClientNode::ClientNode(sim::Simulation& simulation, net::Network& network,
   pfs_ = std::make_unique<pfs::PfsClient>(
       simulation, network, *nic_, node,
       pfs::StripeLayout(cfg.strip_size, cfg.num_servers),
-      std::move(server_nodes), meta_node, address_space_);
+      std::move(server_nodes), meta_node, address_space_, cfg.client.pfs);
   if (policy_uses_hints(cfg.policy)) {
     sais_ = std::make_unique<sais::SaisClient>(*pfs_, *nic_);
   }
@@ -60,6 +60,15 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
 
   sim::Simulation simulation(cfg.seed);
   net::Network network(simulation, cfg.switch_latency);
+
+  // Fault injection: only instantiated when a knob is armed, so the
+  // default (lossless) fabric pays nothing beyond one null-check per send
+  // and its metrics/counters are byte-identical to pre-injector builds.
+  std::unique_ptr<net::FaultInjector> faults;
+  if (net::fault_enabled(cfg.fault)) {
+    faults = std::make_unique<net::FaultInjector>(cfg.fault);
+    network.set_fault_injector(faults.get());
+  }
 
   // Topology: I/O servers, the metadata server, then the client machines.
   std::vector<NodeId> server_nodes;
@@ -160,6 +169,8 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     const pfs::PfsClientStats& pc = client->pfs().stats();
     registry.counter("pfs.reads_issued").add(pc.reads_issued);
     registry.counter("pfs.reads_completed").add(pc.reads_completed);
+    registry.counter("pfs.reads_failed").add(pc.reads_failed);
+    registry.counter("pfs.writes_failed").add(pc.writes_failed);
     registry.counter("pfs.strips_received").add(pc.strips_received);
     registry.counter("pfs.retransmits").add(pc.retransmits);
     registry.counter("pfs.duplicate_strips").add(pc.duplicate_strips);
@@ -179,10 +190,22 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     registry.counter("server.bytes_served").add(st.bytes_served);
     registry.counter("server.cache_hits").add(st.cache_hits);
   }
+  if (faults) {
+    const net::FaultStats& fs = faults->stats();
+    registry.counter("fault.packets_dropped").add(fs.packets_dropped);
+    registry.counter("fault.packets_duplicated").add(fs.packets_duplicated);
+    registry.counter("fault.packets_jittered").add(fs.packets_jittered);
+    registry.counter("fault.straggler_delays").add(fs.straggler_delays);
+    registry.counter("fault.degraded_packets").add(fs.degraded_packets);
+  }
   m.c2c_transfers = registry.value("mem.c2c_transfers");
   m.interrupts = registry.value("nic.interrupts");
   m.rx_drops = registry.value("nic.rx_dropped");
   m.retransmits = registry.value("pfs.retransmits");
+  m.duplicate_strips = registry.value("pfs.duplicate_strips");
+  m.failed_requests =
+      registry.value("pfs.reads_failed") + registry.value("pfs.writes_failed");
+  m.p99_read_latency_us = registry.latency("pfs.read_latency_us").quantile(0.99);
   m.l2_miss_rate = cache_total.miss_rate();
   const i64 total_cores =
       static_cast<i64>(cfg.num_clients) * cfg.client.cores;

@@ -10,6 +10,7 @@
 
 #include "core/policy.hpp"
 #include "mem/memory_system.hpp"
+#include "net/fault.hpp"
 #include "net/nic.hpp"
 #include "pfs/io_server.hpp"
 #include "sais/sais_client.hpp"
@@ -30,6 +31,8 @@ struct ClientMachineConfig {
   /// Client NIC rate: 1 Gb/s, or 3 Gb/s for the bonded three-port setup.
   Bandwidth nic_bandwidth = Bandwidth::gbit(3.0);
   Time user_quantum = Time::us(100);
+  /// PFS protocol engine knobs (retransmit/RTO budget).
+  pfs::PfsClientConfig pfs{};
 };
 
 struct ServerMachineConfig {
@@ -57,6 +60,8 @@ struct ExperimentConfig {
   u64 seed = 42;
   /// Safety net: abort the run if the workload has not drained by then.
   Time max_sim_time = Time::sec(600);
+  /// Network fault injection (all knobs default to off — lossless fabric).
+  net::FaultConfig fault{};
 };
 
 template <class V>
@@ -74,6 +79,7 @@ void describe(V& v, ClientMachineConfig& c) {
   v.group("nic", c.nic);
   v.field("nic_bandwidth", c.nic_bandwidth, r::positive(), "B/s");
   v.field("user_quantum", c.user_quantum, r::positive());
+  v.group("pfs", c.pfs);
 }
 
 template <class V>
@@ -101,6 +107,7 @@ void describe(V& v, ExperimentConfig& c) {
   v.field("metadata_service", c.metadata_service, r::non_negative());
   v.field("seed", c.seed, r::non_negative());
   v.field("max_sim_time", c.max_sim_time, r::positive());
+  v.group("fault", c.fault);
 }
 
 /// Aggregate results of one run (all clients combined).
@@ -124,6 +131,12 @@ struct RunMetrics {
   u64 interrupts = 0;
   u64 retransmits = 0;
   u64 rx_drops = 0;
+  /// Late/duplicate replies the client stripped (dedup path).
+  u64 duplicate_strips = 0;
+  /// Reads + writes that exhausted their retransmit budget.
+  u64 failed_requests = 0;
+  /// p99 application read latency (log2-bucket upper edge, µs).
+  u64 p99_read_latency_us = 0;
   u64 hinted_interrupt_share_x1e4 = 0;  // hinted routes / raised, x1e4
   double mean_read_latency_us = 0.0;
   /// Per-client bandwidths (multi-client scaling figure).

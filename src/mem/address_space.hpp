@@ -32,11 +32,25 @@ class AddressSpace {
     return r;
   }
 
+  /// Return a range to the allocator's accounting. The bump allocator never
+  /// reuses addresses (range disjointness is what the cache bookkeeping
+  /// relies on), but failed-request buffers are released so live_bytes()
+  /// reflects what the workload actually holds.
+  void release(const AddressRange& r) {
+    const u64 aligned =
+        (r.bytes + line_bytes_ - 1) / line_bytes_ * line_bytes_;
+    SAISIM_CHECK(released_ + aligned <= next_);
+    released_ += aligned;
+  }
+
   u64 allocated_bytes() const { return next_; }
+  u64 released_bytes() const { return released_; }
+  u64 live_bytes() const { return next_ - released_; }
 
  private:
   u64 line_bytes_;
   Address next_ = 0;
+  u64 released_ = 0;
 };
 
 }  // namespace saisim::mem

@@ -9,9 +9,11 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/actor.hpp"
+#include "trace/tracer.hpp"
 
 namespace saisim::net {
 
@@ -35,27 +37,49 @@ class Network : public sim::Actor {
     at(node).receiver = std::move(r);
   }
 
+  /// Attach a fault injector that judges every subsequent send. Pass
+  /// nullptr (the default state) for the lossless fabric: the send path
+  /// then costs exactly one pointer null-check over the pre-injector code.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+  FaultInjector* fault_injector() const { return faults_; }
+
   /// Send a packet from `p.src` to `p.dst`. Delivery invokes the
-  /// destination's receiver after both serializations and latencies.
+  /// destination's receiver after both serializations and latencies (plus
+  /// whatever extra fate the fault injector decides, when one is attached).
   void send(Packet p) {
     SAISIM_CHECK(p.src >= 0 && p.src < num_nodes());
     SAISIM_CHECK(p.dst >= 0 && p.dst < num_nodes());
-    const u64 wire = p.wire_bytes();
-    Node& src = at(p.src);
-    ++packets_in_flight_;
-    src.uplink.send(wire, [this, p = std::move(p), wire]() mutable {
-      // Arrived at the switch; forward after the fabric latency.
-      sim().after(switch_latency_, [this, p = std::move(p), wire]() mutable {
-        Node& dst = at(p.dst);
-        dst.downlink.send(wire, [this, p = std::move(p)]() mutable {
-          --packets_in_flight_;
-          Node& d = at(p.dst);
-          SAISIM_CHECK_MSG(d.receiver != nullptr,
-                           "packet delivered to node with no receiver");
-          d.receiver(std::move(p));
-        });
-      });
-    });
+    if (faults_ != nullptr) {
+      const Bandwidth down = at(p.dst).downlink.bandwidth();
+      const Time ser = down.is_unlimited()
+                           ? Time::zero()
+                           : down.transfer_time(p.wire_bytes());
+      const FaultInjector::Verdict v = faults_->judge(p, now(), ser);
+      if (v.drop) {
+        SAISIM_TRACE_EVENT(util::Subsystem::kNet,
+                           trace::EventType::kNetFaultDrop, now(), p.src, -1,
+                           p.request, static_cast<i64>(p.kind),
+                           static_cast<i64>(p.dst));
+        return;  // lost before it ever reaches the sender's uplink
+      }
+      if (v.duplicate) {
+        SAISIM_TRACE_EVENT(util::Subsystem::kNet,
+                           trace::EventType::kNetFaultDup, now(), p.src, -1,
+                           p.request, static_cast<i64>(p.kind),
+                           static_cast<i64>(p.dst),
+                           v.dup_delay.picoseconds());
+        deliver(p, v.dup_delay);  // a second, independently delayed copy
+      }
+      if (v.delay > Time::zero()) {
+        SAISIM_TRACE_EVENT(util::Subsystem::kNet,
+                           trace::EventType::kNetFaultDelay, now(), p.src, -1,
+                           p.request, static_cast<i64>(p.kind),
+                           static_cast<i64>(p.dst), v.delay.picoseconds());
+        deliver(std::move(p), v.delay);
+        return;
+      }
+    }
+    start_uplink(std::move(p));
   }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -81,9 +105,42 @@ class Network : public sim::Actor {
     return *nodes_[static_cast<u64>(n)];
   }
 
+  /// Hand the packet to its source uplink — the lossless path, byte-for-byte
+  /// the pre-injector `send` body.
+  void start_uplink(Packet p) {
+    const u64 wire = p.wire_bytes();
+    Node& src = at(p.src);
+    ++packets_in_flight_;
+    src.uplink.send(wire, [this, p = std::move(p), wire]() mutable {
+      // Arrived at the switch; forward after the fabric latency.
+      sim().after(switch_latency_, [this, p = std::move(p), wire]() mutable {
+        Node& dst = at(p.dst);
+        dst.downlink.send(wire, [this, p = std::move(p)]() mutable {
+          --packets_in_flight_;
+          Node& d = at(p.dst);
+          SAISIM_CHECK_MSG(d.receiver != nullptr,
+                           "packet delivered to node with no receiver");
+          d.receiver(std::move(p));
+        });
+      });
+    });
+  }
+
+  /// Enter the lossless path after an injector-imposed hold-off.
+  void deliver(Packet p, Time extra_delay) {
+    if (extra_delay <= Time::zero()) {
+      start_uplink(std::move(p));
+      return;
+    }
+    sim().after(extra_delay, [this, p = std::move(p)]() mutable {
+      start_uplink(std::move(p));
+    });
+  }
+
   Time switch_latency_;
   std::vector<std::unique_ptr<Node>> nodes_;
   u64 packets_in_flight_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace saisim::net

@@ -1,5 +1,6 @@
 #include "pfs/pfs_client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "trace/tracer.hpp"
@@ -29,14 +30,24 @@ PfsClient::PfsClient(sim::Simulation& simulation, net::Network& network,
 
 void PfsClient::open(ProcessId proc, std::function<void(Time)> on_open) {
   const RequestId id = next_request_++;
-  pending_opens_[id] = std::move(on_open);
+  PendingOpen po;
+  po.proc = proc;
+  po.on_open = std::move(on_open);
+  po.current_timeout = cfg_.retransmit_timeout;
+  auto [it, inserted] = pending_opens_.emplace(id, std::move(po));
+  SAISIM_CHECK(inserted);
+  send_open_request(id, it->second);
+  arm_open_timeout(id);
+}
+
+void PfsClient::send_open_request(RequestId id, const PendingOpen& po) {
   net::Packet req;
   req.id = next_packet_id_++;
   req.kind = net::PacketKind::kMetaRequest;
   req.src = self_;
   req.dst = meta_node_;
   req.request = id;
-  req.owner_process = proc;
+  req.owner_process = po.proc;
   req.payload_bytes = cfg_.request_msg_bytes;
   req.dma_addr = control_scratch_.base;
   network_.send(std::move(req));
@@ -106,6 +117,8 @@ RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
   pw.spans = layout_.decompose(file_offset, buffer.bytes);
   pw.acked.assign(pw.spans.size(), false);
   pw.outstanding = static_cast<u32>(pw.spans.size());
+  pw.retries_left = cfg_.max_retransmits;
+  pw.current_timeout = cfg_.retransmit_timeout;
   pw.buffer = buffer;
   pw.issued_at = now();
   pw.on_complete = std::move(on_complete);
@@ -116,6 +129,7 @@ RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
   for (u64 s = 0; s < it->second.spans.size(); ++s) {
     send_strip_write(id, it->second, s);
   }
+  arm_write_timeout(id);
   return id;
 }
 
@@ -157,12 +171,14 @@ void PfsClient::on_write_ack(const net::Packet& p, CoreId handler, Time at) {
   SAISIM_CHECK(pw.outstanding > 0);
   if (--pw.outstanding > 0) return;
 
+  sim().cancel(pw.timeout);
   ReadResult result;
   result.request = p.request;
   result.buffer = pw.buffer;
   result.issued_at = pw.issued_at;
   result.completed_at = at;
   result.strips = static_cast<u32>(pw.spans.size());
+  result.retransmitted_strips = pw.retransmitted;
   result.final_handler = handler;
   auto cb = std::move(pw.on_complete);
   pending_writes_.erase(it);
@@ -170,6 +186,13 @@ void PfsClient::on_write_ack(const net::Packet& p, CoreId handler, Time at) {
   stats_.write_latency_us.add(
       (result.completed_at - result.issued_at).microseconds());
   if (cb) cb(result);
+}
+
+Time PfsClient::backoff(Time current) const {
+  // RTO backoff: congestion (as opposed to loss) must not be amplified by
+  // ever-faster retries — but doubling is clamped so a long-lived request
+  // keeps probing instead of going silent for the rest of the run.
+  return std::min(current * 2, cfg_.max_retransmit_timeout);
 }
 
 void PfsClient::arm_timeout(RequestId id) {
@@ -184,8 +207,11 @@ void PfsClient::on_timeout(RequestId id) {
   if (it == pending_.end()) return;  // completed in the same tick
   PendingRead& pr = it->second;
   pr.timeout.reset();
-  SAISIM_CHECK_MSG(pr.retries_left-- > 0,
-                   "PFS read exceeded retransmit budget — lost strips");
+  if (pr.retries_left <= 0) {
+    fail_read(id);
+    return;
+  }
+  --pr.retries_left;
   for (u64 s = 0; s < pr.spans.size(); ++s) {
     if (pr.received[s]) continue;
     ++stats_.retransmits;
@@ -196,17 +222,123 @@ void PfsClient::on_timeout(RequestId id) {
                                           << pr.retries_left << ")");
     send_strip_request(id, pr, s);
   }
-  // RTO backoff: congestion (as opposed to loss) must not be amplified by
-  // ever-faster retries.
-  pr.current_timeout = pr.current_timeout * 2;
+  pr.current_timeout = backoff(pr.current_timeout);
   arm_timeout(id);
+}
+
+void PfsClient::fail_read(RequestId id) {
+  auto it = pending_.find(id);
+  SAISIM_CHECK(it != pending_.end());
+  PendingRead& pr = it->second;
+  ReadResult result;
+  result.request = id;
+  result.buffer = pr.buffer;
+  result.issued_at = pr.issued_at;
+  result.completed_at = now();
+  result.strips = static_cast<u32>(pr.spans.size());
+  result.retransmitted_strips = pr.retransmitted;
+  result.failed = true;
+  result.lost_strips = pr.outstanding;
+  SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kWarn,
+                "read " << id << " failed: " << result.lost_strips
+                        << " strips still missing after "
+                        << result.retransmitted_strips << " retransmits");
+  SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsComplete,
+                     now(), self_, kNoCore, id,
+                     static_cast<i64>(result.buffer.bytes),
+                     static_cast<i64>(result.retransmitted_strips));
+  auto cb = std::move(pr.on_complete);
+  address_space_.release(pr.buffer);
+  pending_.erase(it);
+  ++stats_.reads_failed;
+  if (cb) cb(result);
+}
+
+void PfsClient::arm_write_timeout(RequestId id) {
+  auto it = pending_writes_.find(id);
+  SAISIM_CHECK(it != pending_writes_.end());
+  it->second.timeout = sim().after(it->second.current_timeout,
+                                   [this, id] { on_write_timeout(id); });
+}
+
+void PfsClient::on_write_timeout(RequestId id) {
+  auto it = pending_writes_.find(id);
+  if (it == pending_writes_.end()) return;  // completed in the same tick
+  PendingWrite& pw = it->second;
+  pw.timeout.reset();
+  if (pw.retries_left <= 0) {
+    fail_write(id);
+    return;
+  }
+  --pw.retries_left;
+  for (u64 s = 0; s < pw.spans.size(); ++s) {
+    if (pw.acked[s]) continue;
+    ++stats_.retransmits;
+    ++pw.retransmitted;
+    SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kDebug,
+                  "retransmitting write strip " << s << " of request " << id
+                                                << " (retries left "
+                                                << pw.retries_left << ")");
+    send_strip_write(id, pw, s);
+  }
+  pw.current_timeout = backoff(pw.current_timeout);
+  arm_write_timeout(id);
+}
+
+void PfsClient::fail_write(RequestId id) {
+  auto it = pending_writes_.find(id);
+  SAISIM_CHECK(it != pending_writes_.end());
+  PendingWrite& pw = it->second;
+  ReadResult result;
+  result.request = id;
+  result.buffer = pw.buffer;
+  result.issued_at = pw.issued_at;
+  result.completed_at = now();
+  result.strips = static_cast<u32>(pw.spans.size());
+  result.retransmitted_strips = pw.retransmitted;
+  result.failed = true;
+  result.lost_strips = pw.outstanding;
+  SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kWarn,
+                "write " << id << " failed: " << result.lost_strips
+                         << " strips unacked after "
+                         << result.retransmitted_strips << " retransmits");
+  auto cb = std::move(pw.on_complete);
+  pending_writes_.erase(it);
+  ++stats_.writes_failed;
+  if (cb) cb(result);
+}
+
+void PfsClient::arm_open_timeout(RequestId id) {
+  auto it = pending_opens_.find(id);
+  SAISIM_CHECK(it != pending_opens_.end());
+  it->second.timeout = sim().after(it->second.current_timeout,
+                                   [this, id] { on_open_timeout(id); });
+}
+
+void PfsClient::on_open_timeout(RequestId id) {
+  auto it = pending_opens_.find(id);
+  if (it == pending_opens_.end()) return;  // completed in the same tick
+  PendingOpen& po = it->second;
+  po.timeout.reset();
+  ++stats_.retransmits;
+  SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kDebug,
+                "retransmitting metadata open " << id);
+  send_open_request(id, po);
+  po.current_timeout = backoff(po.current_timeout);
+  arm_open_timeout(id);
 }
 
 void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   if (p.kind == net::PacketKind::kMetaReply) {
     auto it = pending_opens_.find(p.request);
-    SAISIM_CHECK(it != pending_opens_.end());
-    auto cb = std::move(it->second);
+    if (it == pending_opens_.end()) {
+      // Reply to a retransmitted open that already completed — same dedup
+      // treatment as a late data strip.
+      ++stats_.duplicate_strips;
+      return;
+    }
+    sim().cancel(it->second.timeout);
+    auto cb = std::move(it->second.on_open);
     pending_opens_.erase(it);
     if (cb) cb(at);
     return;

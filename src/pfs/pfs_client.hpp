@@ -20,6 +20,7 @@
 #include "pfs/stripe_layout.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
+#include "util/reflect.hpp"
 
 namespace saisim::pfs {
 
@@ -29,7 +30,22 @@ struct PfsClientConfig {
   /// congestion delays are waited out rather than amplified.
   Time retransmit_timeout = Time::ms(500);
   int max_retransmits = 16;
+  /// Ceiling of the RTO backoff: the doubled timeout is clamped here, so a
+  /// long-lived request retries steadily instead of going silent for the
+  /// rest of the run.
+  Time max_retransmit_timeout = Time::sec(8);
 };
+
+template <class V>
+void describe(V& v, PfsClientConfig& c) {
+  namespace r = util::reflect;
+  v.field("request_msg_bytes", c.request_msg_bytes, r::positive(), "bytes");
+  v.field("retransmit_timeout", c.retransmit_timeout, r::positive());
+  v.field("max_retransmits", c.max_retransmits, r::non_negative());
+  v.field("max_retransmit_timeout", c.max_retransmit_timeout, r::positive());
+  v.invariant(c.max_retransmit_timeout >= c.retransmit_timeout,
+              "pfs max_retransmit_timeout must be >= retransmit_timeout");
+}
 
 struct ReadResult {
   RequestId request = -1;
@@ -40,13 +56,20 @@ struct ReadResult {
   u32 retransmitted_strips = 0;
   /// Core that handled the final strip's softirq (wake-up origin).
   CoreId final_handler = kNoCore;
+  /// Retransmit budget exhausted: the request completed unsuccessfully and
+  /// `lost_strips` of its strips never arrived. The buffer has already been
+  /// released back to the address space.
+  bool failed = false;
+  u32 lost_strips = 0;
 };
 
 struct PfsClientStats {
   u64 reads_issued = 0;
   u64 reads_completed = 0;
+  u64 reads_failed = 0;
   u64 writes_issued = 0;
   u64 writes_completed = 0;
+  u64 writes_failed = 0;
   u64 strips_requested = 0;
   u64 strips_received = 0;
   u64 strips_written = 0;
@@ -127,18 +150,38 @@ class PfsClient : public sim::Actor {
     std::vector<StripSpan> spans;
     std::vector<bool> acked;
     u32 outstanding = 0;
+    u32 retransmitted = 0;
+    int retries_left = 0;
+    Time current_timeout = Time::zero();
     mem::AddressRange buffer;
     Time issued_at = Time::zero();
     ReadCallback on_complete;
     sim::EventHandle timeout;
   };
 
+  /// Metadata opens carry no payload worth failing over, so they retry
+  /// indefinitely (capped backoff) until the reply lands.
+  struct PendingOpen {
+    ProcessId proc = -1;
+    std::function<void(Time)> on_open;
+    Time current_timeout = Time::zero();
+    sim::EventHandle timeout;
+  };
+
   void on_rx(const net::Packet& p, CoreId handler, Time at);
   void send_strip_request(RequestId id, const PendingRead& pr, u64 span_idx);
   void send_strip_write(RequestId id, const PendingWrite& pw, u64 span_idx);
+  void send_open_request(RequestId id, const PendingOpen& po);
   void on_write_ack(const net::Packet& p, CoreId handler, Time at);
   void arm_timeout(RequestId id);
   void on_timeout(RequestId id);
+  void arm_write_timeout(RequestId id);
+  void on_write_timeout(RequestId id);
+  void arm_open_timeout(RequestId id);
+  void on_open_timeout(RequestId id);
+  void fail_read(RequestId id);
+  void fail_write(RequestId id);
+  Time backoff(Time current) const;
 
   net::Network& network_;
   net::ClientNic& nic_;
@@ -152,7 +195,7 @@ class PfsClient : public sim::Actor {
 
   std::unordered_map<RequestId, PendingRead> pending_;
   std::unordered_map<RequestId, PendingWrite> pending_writes_;
-  std::unordered_map<RequestId, std::function<void(Time)>> pending_opens_;
+  std::unordered_map<RequestId, PendingOpen> pending_opens_;
   mem::AddressRange control_scratch_;
   RequestId next_request_ = 1;
   u64 next_packet_id_ = 1;

@@ -54,6 +54,18 @@ constexpr MetricColumn kColumns[] = {
      [](const RunMetrics& m) {
        return stats::Table::Cell{static_cast<i64>(m.hinted_interrupt_share_x1e4)};
      }},
+    {"duplicate_strips",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.duplicate_strips)};
+     }},
+    {"failed_requests",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.failed_requests)};
+     }},
+    {"p99_read_latency_us",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.p99_read_latency_us)};
+     }},
 };
 
 }  // namespace

@@ -25,6 +25,9 @@
 //   ior.consume.begin   client      core          -               -            -
 //   ior.consume.migration client    core          migration ps    moved lines  -
 //   ior.consume.end     client      core          -               bytes        -
+//   net.fault.drop      src node    -             packet kind     dst node     -
+//   net.fault.dup       src node    -             packet kind     dst node     dup delay ps
+//   net.fault.delay     src node    -             packet kind     dst node     delay ps
 #pragma once
 
 #include "util/subsystem.hpp"
@@ -51,8 +54,11 @@ enum class EventType : u8 {
   kConsumeBegin,
   kConsumeMigration,
   kConsumeEnd,
+  kNetFaultDrop,
+  kNetFaultDup,
+  kNetFaultDelay,
 };
-inline constexpr int kNumEventTypes = 17;
+inline constexpr int kNumEventTypes = 20;
 
 inline constexpr const char* kEventNames[kNumEventTypes] = {
     "nic.rx",
@@ -72,6 +78,9 @@ inline constexpr const char* kEventNames[kNumEventTypes] = {
     "ior.consume.begin",
     "ior.consume.migration",
     "ior.consume.end",
+    "net.fault.drop",
+    "net.fault.dup",
+    "net.fault.delay",
 };
 
 inline constexpr const char* event_name(EventType t) {
@@ -86,7 +95,7 @@ inline constexpr util::Subsystem event_subsystem(EventType t) {
       S::kNet,      S::kNet,      S::kApic,     S::kCpu,      S::kCpu,
       S::kMem,      S::kMem,      S::kMem,      S::kPfs,      S::kPfs,
       S::kPfs,      S::kPfs,      S::kPfs,      S::kWorkload, S::kWorkload,
-      S::kWorkload, S::kWorkload,
+      S::kWorkload, S::kWorkload, S::kNet,      S::kNet,      S::kNet,
   };
   return map[static_cast<u8>(t)];
 }

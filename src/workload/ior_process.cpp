@@ -93,6 +93,7 @@ void IorProcess::issue_next_write(Time) {
                 send_hints_ ? std::optional<CoreId>(home_) : std::nullopt;
             client_.write(pid_, hint, next_io_offset(), buffer,
                           [this](const pfs::ReadResult& r) {
+                            if (r.failed) ++stats_.failed_transfers;
                             account_io(r.buffer.bytes, r.completed_at);
                           });
           },
@@ -149,6 +150,15 @@ void IorProcess::copy_strip_to_reader(const net::Packet& strip) {
 }
 
 void IorProcess::on_read_complete(const pfs::ReadResult& result) {
+  if (result.failed) {
+    // The PFS client exhausted its retransmit budget and released the
+    // buffer: there is nothing to consume. Move on to the next transfer
+    // (still counted, so the closed loop terminates) like a real benchmark
+    // stepping past a failed read().
+    ++stats_.failed_transfers;
+    account_io(cfg_.transfer_size, result.completed_at);
+    return;
+  }
   // Called from softirq context on the core that handled the final strip;
   // the process wakes on its home core (IPI cost when that differs).
   //

@@ -99,6 +99,11 @@ void describe(V& v, IorConfig& c) {
 struct IorProcessStats {
   u64 bytes_read = 0;
   u64 reads_completed = 0;
+  /// Transfers the PFS client gave up on (retransmit budget exhausted under
+  /// injected faults). Counted towards progress — IOR moves on to the next
+  /// transfer, as a real benchmark does after a failed read() — but their
+  /// buffers are never consumed.
+  u64 failed_transfers = 0;
   u64 migrations = 0;
   Time started_at = Time::zero();
   Time finished_at = Time::zero();

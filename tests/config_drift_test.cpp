@@ -24,12 +24,14 @@ TEST(ConfigDrift, DescribedLeafCounts) {
   EXPECT_EQ(count_fields<mem::CacheConfig>(), 3u);
   EXPECT_EQ(count_fields<mem::MemoryTimings>(), 4u);
   EXPECT_EQ(count_fields<net::NicConfig>(), 8u);
+  EXPECT_EQ(count_fields<net::FaultConfig>(), 9u);
   EXPECT_EQ(count_fields<pfs::IoServerConfig>(), 4u);
+  EXPECT_EQ(count_fields<pfs::PfsClientConfig>(), 4u);
   EXPECT_EQ(count_fields<workload::IorConfig>(), 13u);
   EXPECT_EQ(count_fields<workload::BackgroundConfig>(), 3u);
-  EXPECT_EQ(count_fields<ClientMachineConfig>(), 20u);
+  EXPECT_EQ(count_fields<ClientMachineConfig>(), 24u);
   EXPECT_EQ(count_fields<ServerMachineConfig>(), 5u);
-  EXPECT_EQ(count_fields<ExperimentConfig>(), 52u);
+  EXPECT_EQ(count_fields<ExperimentConfig>(), 65u);
   EXPECT_EQ(count_fields<memsim::MemsimConfig>(), 23u);
   EXPECT_EQ(count_fields<realmem::RealMemConfig>(), 8u);
 }
@@ -41,7 +43,8 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
             2u /* cores, core_freq */ + count_fields<mem::CacheConfig>() +
                 count_fields<mem::MemoryTimings>() + 1u /* dram_bandwidth */ +
                 count_fields<net::NicConfig>() +
-                2u /* nic_bandwidth, user_quantum */);
+                2u /* nic_bandwidth, user_quantum */ +
+                count_fields<pfs::PfsClientConfig>());
   EXPECT_EQ(count_fields<ServerMachineConfig>(),
             count_fields<pfs::IoServerConfig>() + 1u /* nic_bandwidth */);
   EXPECT_EQ(count_fields<ExperimentConfig>(),
@@ -52,7 +55,8 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
                 1u /* procs_per_client */ + 1u /* policy */ +
                 count_fields<workload::BackgroundConfig>() +
                 1u /* enable_background */ + 3u /* latencies */ +
-                2u /* seed, max_sim_time */);
+                2u /* seed, max_sim_time */ +
+                count_fields<net::FaultConfig>());
 }
 
 #if defined(__x86_64__) && defined(__linux__)
@@ -62,12 +66,14 @@ TEST(ConfigDrift, StructSizesMatchDescribedLayout) {
   EXPECT_EQ(sizeof(mem::CacheConfig), 24u);
   EXPECT_EQ(sizeof(mem::MemoryTimings), 32u);
   EXPECT_EQ(sizeof(net::NicConfig), 56u);
+  EXPECT_EQ(sizeof(net::FaultConfig), 72u);
   EXPECT_EQ(sizeof(pfs::IoServerConfig), 32u);
+  EXPECT_EQ(sizeof(pfs::PfsClientConfig), 32u);
   EXPECT_EQ(sizeof(workload::IorConfig), 96u);
   EXPECT_EQ(sizeof(workload::BackgroundConfig), 24u);
-  EXPECT_EQ(sizeof(ClientMachineConfig), 152u);
+  EXPECT_EQ(sizeof(ClientMachineConfig), 184u);
   EXPECT_EQ(sizeof(ServerMachineConfig), 40u);
-  EXPECT_EQ(sizeof(ExperimentConfig), 384u);
+  EXPECT_EQ(sizeof(ExperimentConfig), 488u);
   EXPECT_EQ(sizeof(memsim::MemsimConfig), 168u);
   EXPECT_EQ(sizeof(realmem::RealMemConfig), 48u);
 }

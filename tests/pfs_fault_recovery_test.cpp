@@ -1,0 +1,260 @@
+// PFS protocol recovery under injected network faults — the regression
+// suite for the bugs the lossless fabric used to hide: reads and writes
+// recover via retransmit, budget exhaustion completes with a failure
+// status instead of crashing, RTO backoff is capped, and duplicate/late
+// replies of every kind are deduplicated.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "pfs/io_server.hpp"
+#include "pfs/meta_server.hpp"
+#include "pfs/pfs_client.hpp"
+
+namespace saisim::pfs {
+namespace {
+
+constexpr Frequency kFreq = Frequency::ghz(2.0);
+
+// Plain struct (not a ::testing::Test) so the determinism test below can
+// instantiate two independent rigs inside one TEST body.
+struct FaultRig {
+  sim::Simulation s;
+  net::Network net{s, Time::us(5)};
+  cpu::CpuSystem cpus{s, 4, kFreq};
+  mem::MemorySystem memory{4, mem::CacheConfig{}, mem::MemoryTimings{}, kFreq,
+                           Bandwidth::unlimited()};
+  mem::AddressSpace space{64};
+
+  std::vector<NodeId> server_nodes;
+  std::vector<std::unique_ptr<IoServer>> servers;
+  std::unique_ptr<MetaServer> meta;
+  std::unique_ptr<apic::IoApic> apic_;
+  std::unique_ptr<net::ClientNic> nic;
+  std::unique_ptr<net::FaultInjector> faults;
+  std::unique_ptr<PfsClient> client;
+  NodeId meta_node = kNoNode;
+
+  void build(net::FaultConfig fault_cfg = {}, PfsClientConfig pfs_cfg = {}) {
+    if (net::fault_enabled(fault_cfg)) {
+      faults = std::make_unique<net::FaultInjector>(fault_cfg);
+      net.set_fault_injector(faults.get());
+    }
+    for (int i = 0; i < 4; ++i)
+      server_nodes.push_back(
+          net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0)));
+    meta_node = net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+    const NodeId client_node =
+        net.add_node(Bandwidth::gbit(3.0), Bandwidth::gbit(3.0));
+    for (NodeId n : server_nodes)
+      servers.push_back(
+          std::make_unique<IoServer>(s, net, n, IoServerConfig{}));
+    meta = std::make_unique<MetaServer>(s, net, meta_node);
+    apic_ = std::make_unique<apic::IoApic>(
+        s, cpus, std::make_unique<apic::SourceAwarePolicy>());
+    nic = std::make_unique<net::ClientNic>(s, net, client_node, *apic_,
+                                           memory, kFreq, net::NicConfig{});
+    client = std::make_unique<PfsClient>(
+        s, net, *nic, client_node, StripeLayout(64ull << 10, 4), server_nodes,
+        meta_node, space, pfs_cfg);
+  }
+};
+
+struct FaultFixture : ::testing::Test, FaultRig {};
+
+TEST_F(FaultFixture, ReadRecoversFromPacketLoss) {
+  net::FaultConfig fc;
+  fc.loss_rate = 0.3;
+  fc.seed = 7;
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(20);
+  build(fc, pc);
+
+  std::optional<ReadResult> result;
+  client->read(1, std::nullopt, 0, 512ull << 10,
+               [&](const ReadResult& r) { result = r; });
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->strips, 8u);
+  EXPECT_EQ(client->stats().reads_completed, 1u);
+  EXPECT_EQ(client->stats().reads_failed, 0u);
+  // 30% loss over 16+ packets: recovery must have used the timeout path.
+  EXPECT_GT(client->stats().retransmits, 0u);
+  EXPECT_GT(result->retransmitted_strips, 0u);
+}
+
+TEST_F(FaultFixture, WriteRecoversFromDroppedDataOrAck) {
+  net::FaultConfig fc;
+  fc.loss_rate = 0.3;
+  fc.seed = 11;
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(20);
+  build(fc, pc);
+
+  const auto buffer = client->allocate_buffer(512ull << 10);
+  std::optional<ReadResult> result;
+  client->write(1, std::nullopt, 0, buffer,
+                [&](const ReadResult& r) { result = r; });
+  s.run();
+  // Before PendingWrite::timeout was armed, any dropped data or ack packet
+  // hung this run forever (s.run() only returns because retransmits
+  // eventually push every ack through).
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(client->stats().writes_completed, 1u);
+  EXPECT_EQ(client->stats().writes_failed, 0u);
+  EXPECT_GT(client->stats().retransmits, 0u);
+}
+
+TEST_F(FaultFixture, ReadBudgetExhaustionFailsGracefully) {
+  net::FaultConfig fc;
+  fc.loss_rate = 1.0;
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(10);
+  pc.max_retransmits = 2;
+  build(fc, pc);
+
+  const u64 bytes = 512ull << 10;
+  const u64 live_before = space.live_bytes();
+  std::optional<ReadResult> result;
+  client->read(1, std::nullopt, 0, bytes,
+               [&](const ReadResult& r) { result = r; });
+  s.run();  // used to SAISIM_CHECK-abort; must now drain cleanly
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->failed);
+  EXPECT_EQ(result->lost_strips, 8u);
+  EXPECT_EQ(result->strips, 8u);
+  EXPECT_EQ(client->stats().reads_failed, 1u);
+  EXPECT_EQ(client->stats().reads_completed, 0u);
+  // The failed read's buffer went back to the address space.
+  EXPECT_EQ(space.live_bytes(), live_before);
+}
+
+TEST_F(FaultFixture, WriteBudgetExhaustionFailsGracefully) {
+  net::FaultConfig fc;
+  fc.loss_rate = 1.0;
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(10);
+  pc.max_retransmits = 2;
+  build(fc, pc);
+
+  const auto buffer = client->allocate_buffer(256ull << 10);
+  std::optional<ReadResult> result;
+  client->write(1, std::nullopt, 0, buffer,
+                [&](const ReadResult& r) { result = r; });
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->failed);
+  EXPECT_EQ(result->lost_strips, 4u);
+  EXPECT_EQ(client->stats().writes_failed, 1u);
+  EXPECT_EQ(client->stats().writes_completed, 0u);
+}
+
+TEST_F(FaultFixture, RtoBackoffIsCappedAtConfiguredCeiling) {
+  net::FaultConfig fc;
+  fc.loss_rate = 1.0;
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(100);
+  pc.max_retransmit_timeout = Time::ms(200);
+  pc.max_retransmits = 2;
+  build(fc, pc);
+
+  std::optional<ReadResult> result;
+  client->read(1, std::nullopt, 0, 64ull << 10,
+               [&](const ReadResult& r) { result = r; });
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->failed);
+  // Timeouts fire at 100ms (retry 1), +min(200, 200) = 300ms (retry 2),
+  // +min(400, 200) = 500ms (budget exhausted). Unbounded doubling would
+  // fail at 700ms instead.
+  EXPECT_EQ(result->completed_at - result->issued_at, Time::ms(500));
+}
+
+TEST_F(FaultFixture, DuplicateMetaReplyIsCountedNotFatal) {
+  build();
+  bool opened = false;
+  client->open(1, [&](Time) { opened = true; });
+  s.run();
+  ASSERT_TRUE(opened);
+
+  // Re-deliver the (already consumed) metadata reply — the shape a
+  // retransmitted open produces when the original reply was merely slow.
+  net::Packet stale;
+  stale.kind = net::PacketKind::kMetaReply;
+  stale.request = 1;
+  stale.src = meta_node;
+  stale.dst = nic->node();
+  stale.payload_bytes = 64;
+  const u64 dups_before = client->stats().duplicate_strips;
+  net.send(stale);
+  s.run();  // used to SAISIM_CHECK-abort in on_rx
+  EXPECT_EQ(client->stats().duplicate_strips, dups_before + 1);
+}
+
+TEST_F(FaultFixture, OpenRetriesUntilMetaReplyArrives) {
+  net::FaultConfig fc;
+  fc.loss_rate = 0.5;
+  fc.seed = 3;
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(10);
+  build(fc, pc);
+
+  bool opened = false;
+  client->open(1, [&](Time) { opened = true; });
+  s.run();
+  EXPECT_TRUE(opened);
+}
+
+TEST_F(FaultFixture, DuplicatedDataStripsAreDeduped) {
+  net::FaultConfig fc;
+  fc.duplicate_rate = 1.0;
+  build(fc);
+
+  std::optional<ReadResult> result;
+  client->read(1, std::nullopt, 0, 512ull << 10,
+               [&](const ReadResult& r) { result = r; });
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->failed);
+  // Every packet delivered twice, yet each strip counts exactly once.
+  EXPECT_EQ(client->stats().strips_received, 8u);
+  EXPECT_GT(client->stats().duplicate_strips, 0u);
+  EXPECT_EQ(client->stats().reads_completed, 1u);
+}
+
+// Same fixture, same fault seed: the entire simulation replays
+// bit-identically (completion time, retransmit count, injector stats).
+TEST(FaultDeterminism, SameSeedReplaysBitIdentically) {
+  struct Outcome {
+    Time completed_at;
+    u64 retransmits;
+    u64 dropped;
+  };
+  const auto run_once = [] {
+    FaultRig f;
+    net::FaultConfig fc;
+    fc.loss_rate = 0.25;
+    fc.max_jitter = Time::us(200);
+    fc.seed = 42;
+    PfsClientConfig pc;
+    pc.retransmit_timeout = Time::ms(20);
+    f.build(fc, pc);
+    std::optional<ReadResult> result;
+    f.client->read(1, std::nullopt, 0, 512ull << 10,
+                   [&](const ReadResult& r) { result = r; });
+    f.s.run();
+    EXPECT_TRUE(result.has_value());
+    return Outcome{result->completed_at, f.client->stats().retransmits,
+                   f.faults->stats().packets_dropped};
+  };
+  const Outcome a = run_once();
+  const Outcome b = run_once();
+  EXPECT_EQ(a.completed_at, b.completed_at);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.dropped, b.dropped);
+}
+
+}  // namespace
+}  // namespace saisim::pfs

@@ -47,7 +47,9 @@ TEST(SweepExport, MetricColumnOrderIsStable) {
                 "bandwidth_mbps", "l2_miss_rate", "cpu_utilization",
                 "unhalted_cycles", "softirq_cycles", "mean_read_latency_us",
                 "elapsed_us", "total_bytes", "c2c_transfers", "interrupts",
-                "retransmits", "rx_drops", "hinted_interrupt_share_x1e4"}));
+                "retransmits", "rx_drops", "hinted_interrupt_share_x1e4",
+                "duplicate_strips", "failed_requests",
+                "p99_read_latency_us"}));
 }
 
 TEST(SweepExport, CsvGolden) {
@@ -55,11 +57,12 @@ TEST(SweepExport, CsvGolden) {
       "\"who,what\",policy,bandwidth_mbps,l2_miss_rate,cpu_utilization,"
       "unhalted_cycles,softirq_cycles,mean_read_latency_us,elapsed_us,"
       "total_bytes,c2c_transfers,interrupts,retransmits,rx_drops,"
-      "hinted_interrupt_share_x1e4\n"
-      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0\n"
-      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0\n"
-      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0\n"
-      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0\n";
+      "hinted_interrupt_share_x1e4,duplicate_strips,failed_requests,"
+      "p99_read_latency_us\n"
+      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0\n"
+      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0,0,0,0\n"
+      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0,0,0,0\n"
+      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0,0,0,0\n";
   EXPECT_EQ(to_csv(tiny_result()), want);
 }
 
@@ -72,7 +75,9 @@ TEST(SweepExport, JsonGolden) {
            "\"softirq_cycles\":0,\"mean_read_latency_us\":0,\"elapsed_us\":0,"
            "\"total_bytes\":" + bytes +
            ",\"c2c_transfers\":0,\"interrupts\":0,\"retransmits\":0,"
-           "\"rx_drops\":0,\"hinted_interrupt_share_x1e4\":0}";
+           "\"rx_drops\":0,\"hinted_interrupt_share_x1e4\":0,"
+           "\"duplicate_strips\":0,\"failed_requests\":0,"
+           "\"p99_read_latency_us\":0}";
   };
   const std::string want =
       std::string(
@@ -80,7 +85,9 @@ TEST(SweepExport, JsonGolden) {
           "\"bandwidth_mbps\",\"l2_miss_rate\",\"cpu_utilization\","
           "\"unhalted_cycles\",\"softirq_cycles\",\"mean_read_latency_us\","
           "\"elapsed_us\",\"total_bytes\",\"c2c_transfers\",\"interrupts\","
-          "\"retransmits\",\"rx_drops\",\"hinted_interrupt_share_x1e4\"],"
+          "\"retransmits\",\"rx_drops\",\"hinted_interrupt_share_x1e4\","
+          "\"duplicate_strips\",\"failed_requests\","
+          "\"p99_read_latency_us\"],"
           "\"rows\":[") +
       row("a\\\"b", "irq", "1.5", "1") + "," +
       row("a\\\"b", "sais", "2.5", "2") + "," +
