@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
 #include "pfs/meta_server.hpp"
+#include "sim/engine.hpp"
 #include "trace/counter_registry.hpp"
 #include "trace/runtime.hpp"
 #include "trace/tracer.hpp"
@@ -58,36 +60,84 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   // Without an own tracer the ambient one (if any) stays installed — tests
   // wrap run_experiment in a TraceScope to capture its event stream.
 
-  sim::Simulation simulation(cfg.seed);
-  net::Network network(simulation, cfg.switch_latency);
+  // The sharded DES core. One shard degenerates to the legacy serial
+  // kernel (no workers, the exact pre-shard run loop); S > 1 partitions the
+  // topology over S queues synchronized by conservative lookahead — the
+  // switch store-and-forward latency, which every cross-shard path pays.
+  const int num_shards = cfg.sim.shards;
+  SAISIM_CHECK(num_shards >= 1);
+  const Time lookahead = cfg.sim.lookahead_override > Time::zero()
+                             ? cfg.sim.lookahead_override
+                             : cfg.switch_latency;
+  sim::Engine engine(cfg.seed, num_shards, lookahead);
+  sim::Simulation& simulation = engine.shard(0);
+  net::Network network(engine, cfg.switch_latency);
+
+  // Worker shards record into their own tracers; the streams are merged by
+  // timestamp (stable by shard rank) after the run. Shard 0 runs on this
+  // thread and inherits the ambient TraceScope installed above.
+  std::vector<std::unique_ptr<trace::Tracer>> shard_tracers;
+  if (tracer != nullptr) {
+    for (int r = 1; r < num_shards; ++r) {
+      shard_tracers.push_back(
+          std::make_unique<trace::Tracer>(topts.mask, topts.capacity));
+      engine.set_tracer(r, shard_tracers.back().get());
+    }
+  }
+
+  // Partition function: all client machines home on shard 0 — the control
+  // shard, whose clock is the run clock and whose RNG stream is the root
+  // seed, so every model RNG site (all on clients) draws the same sequence
+  // at any shard count. I/O + metadata servers spread round-robin over
+  // shards 1..S-1 in creation order.
+  int next_remote = 0;
+  auto server_shard = [num_shards, &next_remote] {
+    return num_shards == 1 ? 0 : 1 + (next_remote++ % (num_shards - 1));
+  };
 
   // Fault injection: only instantiated when a knob is armed, so the
-  // default (lossless) fabric pays nothing beyond one null-check per send
+  // default (lossless) fabric pays nothing beyond one empty-check per send
   // and its metrics/counters are byte-identical to pre-injector builds.
-  std::unique_ptr<net::FaultInjector> faults;
+  // One injector per shard (see net::shard_fault_seed); shard 0's keeps the
+  // configured seed so 1-shard faulty runs replay the single-injector
+  // fabric bit-for-bit.
+  std::vector<std::unique_ptr<net::FaultInjector>> faults;
   if (net::fault_enabled(cfg.fault)) {
-    faults = std::make_unique<net::FaultInjector>(cfg.fault);
-    network.set_fault_injector(faults.get());
+    std::vector<net::FaultInjector*> per_shard;
+    for (int r = 0; r < num_shards; ++r) {
+      net::FaultConfig fc = cfg.fault;
+      fc.seed = net::shard_fault_seed(cfg.fault.seed, r);
+      faults.push_back(std::make_unique<net::FaultInjector>(fc));
+      per_shard.push_back(faults.back().get());
+    }
+    network.set_fault_injectors(std::move(per_shard));
   }
 
   // Topology: I/O servers, the metadata server, then the client machines.
   std::vector<NodeId> server_nodes;
+  std::vector<int> server_shards;
   server_nodes.reserve(static_cast<u64>(cfg.num_servers));
   for (int s = 0; s < cfg.num_servers; ++s) {
+    const int shard = server_shard();
+    server_shards.push_back(shard);
     server_nodes.push_back(network.add_node(cfg.server.nic_bandwidth,
                                             cfg.server.nic_bandwidth,
-                                            cfg.link_latency));
+                                            cfg.link_latency, shard));
   }
+  const int meta_shard = server_shard();
   const NodeId meta_node = network.add_node(
-      Bandwidth::gbit(1.0), Bandwidth::gbit(1.0), cfg.link_latency);
+      Bandwidth::gbit(1.0), Bandwidth::gbit(1.0), cfg.link_latency,
+      meta_shard);
 
   std::vector<std::unique_ptr<pfs::IoServer>> servers;
   servers.reserve(server_nodes.size());
-  for (NodeId n : server_nodes) {
-    servers.push_back(
-        std::make_unique<pfs::IoServer>(simulation, network, n, cfg.server.io));
+  for (u64 s = 0; s < server_nodes.size(); ++s) {
+    servers.push_back(std::make_unique<pfs::IoServer>(
+        engine.shard(server_shards[s]), network, server_nodes[s],
+        cfg.server.io));
   }
-  pfs::MetaServer meta(simulation, network, meta_node, cfg.metadata_service);
+  pfs::MetaServer meta(engine.shard(meta_shard), network, meta_node,
+                       cfg.metadata_service);
 
   std::vector<std::unique_ptr<ClientNode>> clients;
   clients.reserve(static_cast<u64>(cfg.num_clients));
@@ -129,12 +179,13 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     p->start([&remaining](const workload::IorProcessStats&) { --remaining; });
   }
 
-  while (remaining > 0) {
-    SAISIM_CHECK_MSG(simulation.step(),
-                     "workload did not complete: event queue drained");
-    SAISIM_CHECK_MSG(simulation.now() <= cfg.max_sim_time,
-                     "workload did not complete within max_sim_time");
-  }
+  // Advance to completion. The stop predicate lives on shard 0 (every IOR
+  // process is a client, and clients home there), so the engine halts at
+  // exactly the event that finishes the workload — worker shards may have
+  // conservatively run ahead within the last lookahead window, which is
+  // invisible to the metrics below: every RunMetrics field derives from
+  // client-side state or from shard 0's clock.
+  engine.run_while([&remaining] { return remaining > 0; }, cfg.max_sim_time);
 
   // ---- Metric aggregation --------------------------------------------
   // The end-of-run barrier: subsystem stats are published into a named
@@ -190,14 +241,34 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     registry.counter("server.bytes_served").add(st.bytes_served);
     registry.counter("server.cache_hits").add(st.cache_hits);
   }
-  if (faults) {
-    const net::FaultStats& fs = faults->stats();
+  for (auto& injector : faults) {  // summed in shard-rank order
+    const net::FaultStats& fs = injector->stats();
     registry.counter("fault.packets_dropped").add(fs.packets_dropped);
     registry.counter("fault.packets_duplicated").add(fs.packets_duplicated);
     registry.counter("fault.packets_jittered").add(fs.packets_jittered);
     registry.counter("fault.straggler_delays").add(fs.straggler_delays);
     registry.counter("fault.degraded_packets").add(fs.degraded_packets);
   }
+
+  // Kernel utilization: per-shard executed/pending event counts, so
+  // tools/trace_summary can report shard imbalance, plus the totals and the
+  // round/cross-post traffic of the conservative synchronizer.
+  u64 events_total = 0;
+  u64 pending_total = 0;
+  for (int r = 0; r < num_shards; ++r) {
+    const std::string prefix = "sim.shard" + std::to_string(r);
+    const u64 executed = engine.shard(r).events_executed();
+    const u64 pending = engine.shard(r).pending_events();
+    registry.counter(prefix + ".events_executed").add(executed);
+    registry.counter(prefix + ".pending_events").add(pending);
+    events_total += executed;
+    pending_total += pending;
+  }
+  registry.counter("sim.events_executed").add(events_total);
+  registry.counter("sim.pending_events").add(pending_total);
+  registry.counter("sim.shards").add(static_cast<u64>(num_shards));
+  registry.counter("sim.rounds").add(engine.rounds());
+  registry.counter("sim.cross_shard_posts").add(engine.cross_shard_posts());
   m.c2c_transfers = registry.value("mem.c2c_transfers");
   m.interrupts = registry.value("nic.interrupts");
   m.rx_drops = registry.value("nic.rx_dropped");
@@ -255,7 +326,13 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     run.label = std::string(policy_name(cfg.policy));
     run.sort_key = util::reflect::fingerprint_of(cfg);
     if (tracer) {
-      run.events = tracer->take();
+      // Per-shard streams merge by timestamp, stable by shard rank (shard 0
+      // first) — deterministic at a fixed shard count. With one shard this
+      // is exactly the pre-shard single-stream path.
+      std::vector<std::vector<trace::Event>> streams;
+      streams.push_back(tracer->take());
+      for (auto& t : shard_tracers) streams.push_back(t->take());
+      run.events = trace::merge_event_streams(std::move(streams));
       run.spans = trace::build_spans(run.events);
     }
     run.counters = registry.snapshot();

@@ -1,0 +1,129 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace saisim::sim {
+
+Engine::Engine(u64 seed, int shards, Time lookahead) : lookahead_(lookahead) {
+  SAISIM_CHECK(shards >= 1);
+  SAISIM_CHECK_MSG(shards == 1 || lookahead > Time::zero(),
+                   "a multi-shard engine needs a positive lookahead");
+  shards_.reserve(static_cast<u64>(shards));
+  for (int r = 0; r < shards; ++r) {
+    shards_.push_back(std::make_unique<ShardCtx>(shard_seed(seed, r)));
+  }
+  // Shard 0 executes on the caller's thread; ranks 1..N-1 each get a
+  // dedicated worker that sleeps between rounds.
+  workers_.reserve(static_cast<u64>(shards - 1));
+  for (int r = 1; r < shards; ++r) {
+    workers_.emplace_back([this, r] { worker_main(r); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    quit_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Engine::post(int src, int dst, Time effect, EventQueue::Callback fn) {
+  ShardCtx& s = ctx(src);
+  if (src == dst) {
+    s.sim.at(effect, std::move(fn));
+    return;
+  }
+  SAISIM_CHECK_MSG(current_rank() == -1 || current_rank() == src,
+                   "cross-shard post from a thread that does not own the "
+                   "source shard");
+  SAISIM_CHECK_MSG(effect >= s.sim.now() + lookahead_,
+                   "cross-shard post violates the conservative lookahead "
+                   "bound");
+  if (current_rank() == -1) {
+    // Outside a round the engine is single-threaded (topology setup,
+    // workload start): deliver directly, in program order — deterministic.
+    ctx(dst).sim.at(effect, std::move(fn));
+    ++cross_posts_;
+    return;
+  }
+  s.outbox.push_back(Post{effect, src, dst, ++s.post_seq, std::move(fn)});
+}
+
+Time Engine::min_next_event_time() {
+  Time t = Time::max();
+  for (auto& s : shards_) t = std::min(t, s->sim.next_event_time());
+  return t;
+}
+
+void Engine::begin_round(Time horizon) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    horizon_ = horizon;
+    done_ = 0;
+    ++round_generation_;
+  }
+  ++rounds_;
+  work_cv_.notify_all();
+}
+
+void Engine::finish_round() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [this] { return done_ == static_cast<int>(workers_.size()); });
+  }
+  merge_outboxes();
+}
+
+void Engine::merge_outboxes() {
+  merge_scratch_.clear();
+  for (auto& s : shards_) {
+    for (Post& p : s->outbox) merge_scratch_.push_back(std::move(p));
+    s->outbox.clear();
+  }
+  // The deterministic merge: (effect, src, seq) is a total order over the
+  // round's messages that does not depend on which worker finished first.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const Post& a, const Post& b) {
+              if (a.effect != b.effect) return a.effect < b.effect;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  cross_posts_ += merge_scratch_.size();
+  for (Post& p : merge_scratch_) {
+    ctx(p.dst).sim.at(p.effect, std::move(p.fn));
+  }
+  merge_scratch_.clear();
+}
+
+void Engine::worker_main(int rank) {
+  ShardCtx& s = ctx(rank);
+  u64 seen = 0;
+  for (;;) {
+    Time horizon;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this, seen] { return quit_ || round_generation_ != seen; });
+      if (quit_) return;
+      seen = round_generation_;
+      horizon = horizon_;
+    }
+    {
+      // Workers record into their own per-shard tracer (merged at end of
+      // run); RankScope makes current_rank() reflect the executing shard.
+      const trace::TraceScope trace_scope(s.tracer);
+      const RankScope rank_scope(rank);
+      s.sim.run_window(horizon);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace saisim::sim

@@ -1,0 +1,187 @@
+// The sharded parallel DES engine: N node-partitioned Simulations advanced
+// in conservative lookahead rounds on a worker pool.
+//
+// Model state is partitioned over shards; each shard owns a Simulation
+// (its own event queue, clock, and RNG stream derived from the root seed)
+// and executes its events on a dedicated thread. Synchronization is the
+// classical conservative scheme: every cross-shard interaction carries at
+// least `lookahead` of simulated latency (in this repo, the switch
+// store-and-forward hop — the minimum cross-shard edge), so a round may
+// safely execute every event strictly before
+//
+//   horizon = min(next event time over all shards) + lookahead
+//
+// in parallel: any message generated during the round takes effect at
+// `src.now() + L >= horizon` and therefore cannot influence the round
+// itself. Cross-shard sends go through `post()`, which appends to the
+// sending shard's outbox; at the round boundary the main thread merges all
+// outboxes in the deterministic (effect_time, src_shard, sequence) order
+// before scheduling them on their destination queues. Together with the
+// per-queue (time, seq) tie-break this makes the execution order — and
+// hence every metric — a pure function of (config, seed, shard count
+// partition), independent of thread scheduling: the same discipline the
+// sweep runner proved for --threads identity.
+//
+// With one shard the engine degenerates to the legacy serial kernel: no
+// workers, no outboxes, the exact pre-shard run loop — byte-identical.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "trace/tracer.hpp"
+#include "util/assert.hpp"
+
+namespace saisim::sim {
+
+class Engine {
+ public:
+  /// Shard 0 seeds its RNG with `seed` itself (so a 1-shard engine is
+  /// bit-identical to a bare Simulation(seed)); shard r>0 gets a stream
+  /// decorrelated by the golden-ratio increment.
+  static u64 shard_seed(u64 seed, int rank) {
+    constexpr u64 kGoldenGamma = u64{0x9E3779B97F4A7C15};
+    return rank == 0 ? seed : seed ^ (static_cast<u64>(rank) * kGoldenGamma);
+  }
+
+  Engine(u64 seed, int shards, Time lookahead);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Time lookahead() const { return lookahead_; }
+  Simulation& shard(int rank) { return ctx(rank).sim; }
+
+  /// Rank of the shard executing on the current thread: 0..N-1 inside a
+  /// round, -1 outside (setup/teardown, which are single-threaded).
+  static int current_rank() { return tl_rank_; }
+
+  /// Install a tracer as shard `rank`'s sink for subsequent rounds (worker
+  /// shards only; shard 0 runs on the caller's thread and inherits its
+  /// ambient TraceScope). Pass nullptr to detach.
+  void set_tracer(int rank, trace::Tracer* t) { ctx(rank).tracer = t; }
+
+  /// Schedule `fn` on shard `dst` at absolute time `effect`, from shard
+  /// `src`. Same-shard posts schedule directly (identical to sim.at).
+  /// Cross-shard posts during a round must respect the conservative
+  /// contract `effect >= src.now() + lookahead`; they are buffered in the
+  /// source outbox and merged deterministically at the round boundary.
+  void post(int src, int dst, Time effect, EventQueue::Callback fn);
+
+  /// Advance all shards until `keep_going()` (evaluated on shard 0, the
+  /// control shard, between that shard's events) turns false. Aborts via
+  /// SAISIM_CHECK if every queue drains or the clock passes `deadline`
+  /// first — the exact failure contract of the legacy serial loop. Returns
+  /// shard 0's clock, which is the time of the event that satisfied the
+  /// predicate (other shards may have conservatively run ahead, bounded by
+  /// the last horizon).
+  template <class Pred>
+  Time run_while(Pred&& keep_going, Time deadline) {
+    Simulation& s0 = shard(0);
+    if (num_shards() == 1) {
+      // The legacy serial kernel, verbatim.
+      const RankScope scope(0);
+      while (keep_going()) {
+        SAISIM_CHECK_MSG(s0.step(),
+                         "workload did not complete: event queue drained");
+        SAISIM_CHECK_MSG(s0.now() <= deadline,
+                         "workload did not complete within max_sim_time");
+      }
+      return s0.now();
+    }
+    for (;;) {
+      if (!keep_going()) return s0.now();
+      const Time t_min = min_next_event_time();
+      SAISIM_CHECK_MSG(t_min != Time::max(),
+                       "workload did not complete: event queue drained");
+      SAISIM_CHECK_MSG(t_min <= deadline,
+                       "workload did not complete within max_sim_time");
+      const Time horizon = t_min + lookahead_;
+      begin_round(horizon);
+      bool stopped;
+      {
+        const RankScope scope(0);
+        stopped = !s0.run_window_while(horizon, keep_going);
+      }
+      finish_round();
+      if (stopped) return s0.now();
+    }
+  }
+
+  /// Rounds executed so far (0 for the 1-shard serial path).
+  u64 rounds() const { return rounds_; }
+  /// Cross-shard messages merged at round boundaries so far.
+  u64 cross_shard_posts() const { return cross_posts_; }
+
+ private:
+  /// One buffered cross-shard message. The merge sort key is
+  /// (effect, src, seq): time first, then source shard rank, then the
+  /// source's per-round post sequence — total, deterministic, and
+  /// independent of worker interleaving.
+  struct Post {
+    Time effect;
+    int src;
+    int dst;
+    u64 seq;
+    EventQueue::Callback fn;
+  };
+
+  struct ShardCtx {
+    explicit ShardCtx(u64 seed) : sim(seed) {}
+    Simulation sim;
+    std::vector<Post> outbox;
+    u64 post_seq = 0;
+    trace::Tracer* tracer = nullptr;
+  };
+
+  class RankScope {
+   public:
+    explicit RankScope(int r) : prev_(tl_rank_) { tl_rank_ = r; }
+    ~RankScope() { tl_rank_ = prev_; }
+    RankScope(const RankScope&) = delete;
+    RankScope& operator=(const RankScope&) = delete;
+
+   private:
+    int prev_;
+  };
+
+  ShardCtx& ctx(int rank) {
+    SAISIM_CHECK(rank >= 0 && rank < num_shards());
+    return *shards_[static_cast<u64>(rank)];
+  }
+
+  Time min_next_event_time();
+  void begin_round(Time horizon);
+  void finish_round();
+  void merge_outboxes();
+  void worker_main(int rank);
+
+  inline static thread_local int tl_rank_ = -1;
+
+  Time lookahead_;
+  std::vector<std::unique_ptr<ShardCtx>> shards_;
+  std::vector<Post> merge_scratch_;
+  u64 rounds_ = 0;
+  u64 cross_posts_ = 0;
+
+  // Round handshake: main publishes (round_generation_, horizon_) under the
+  // mutex and wakes the pool; each worker runs its shard's window, bumps
+  // done_, and signals. Everything a worker reads or writes outside its own
+  // shard is exchanged under this mutex, so rounds are data-race-free.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  u64 round_generation_ = 0;
+  Time horizon_ = Time::zero();
+  int done_ = 0;
+  bool quit_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace saisim::sim

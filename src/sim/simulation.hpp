@@ -5,8 +5,6 @@
 // the mem/cpu/apic/net/pfs modules layered on top.
 #pragma once
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -62,12 +60,40 @@ class Simulation {
   }
 
   /// Run until `pred()` becomes true (checked after each event) or the
-  /// queue drains. Returns whether the predicate was satisfied.
-  bool run_while(const std::function<bool()>& keep_going) {
+  /// queue drains. Returns whether the predicate was satisfied. Templated
+  /// so the predicate is called through its own type — no std::function
+  /// type-erasure allocation per run_while call (event-queue style).
+  template <class Pred>
+  bool run_while(Pred&& keep_going) {
     while (keep_going()) {
       if (!step()) return false;
     }
     return true;
+  }
+
+  /// Execute every event strictly before `end_exclusive`, stopping early
+  /// (returning false) the moment `keep_going()` turns false. Unlike
+  /// run_until, the clock is left at the last executed event — events at or
+  /// past the bound stay pending and `now()` never jumps ahead of them,
+  /// which is what the sharded engine's conservative rounds require.
+  template <class Pred>
+  bool run_window_while(Time end_exclusive, Pred&& keep_going) {
+    while (!queue_.empty() && queue_.next_time() < end_exclusive) {
+      if (!keep_going()) return false;
+      step();
+    }
+    return true;
+  }
+
+  /// run_window_while with no stop predicate: drain everything < bound.
+  void run_window(Time end_exclusive) {
+    run_window_while(end_exclusive, [] { return true; });
+  }
+
+  /// Timestamp of the earliest pending event, or Time::max() when the
+  /// queue is empty (so a min over shards ignores drained ones).
+  Time next_event_time() {
+    return queue_.empty() ? Time::max() : queue_.next_time();
   }
 
   u64 events_executed() const { return events_executed_; }

@@ -31,7 +31,8 @@ TEST(ConfigDrift, DescribedLeafCounts) {
   EXPECT_EQ(count_fields<workload::BackgroundConfig>(), 3u);
   EXPECT_EQ(count_fields<ClientMachineConfig>(), 24u);
   EXPECT_EQ(count_fields<ServerMachineConfig>(), 5u);
-  EXPECT_EQ(count_fields<ExperimentConfig>(), 65u);
+  EXPECT_EQ(count_fields<SimKernelConfig>(), 2u);
+  EXPECT_EQ(count_fields<ExperimentConfig>(), 67u);
   EXPECT_EQ(count_fields<memsim::MemsimConfig>(), 23u);
   EXPECT_EQ(count_fields<realmem::RealMemConfig>(), 8u);
 }
@@ -56,7 +57,8 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
                 count_fields<workload::BackgroundConfig>() +
                 1u /* enable_background */ + 3u /* latencies */ +
                 2u /* seed, max_sim_time */ +
-                count_fields<net::FaultConfig>());
+                count_fields<net::FaultConfig>() +
+                count_fields<SimKernelConfig>());
 }
 
 #if defined(__x86_64__) && defined(__linux__)
@@ -73,7 +75,8 @@ TEST(ConfigDrift, StructSizesMatchDescribedLayout) {
   EXPECT_EQ(sizeof(workload::BackgroundConfig), 24u);
   EXPECT_EQ(sizeof(ClientMachineConfig), 184u);
   EXPECT_EQ(sizeof(ServerMachineConfig), 40u);
-  EXPECT_EQ(sizeof(ExperimentConfig), 488u);
+  EXPECT_EQ(sizeof(SimKernelConfig), 16u);
+  EXPECT_EQ(sizeof(ExperimentConfig), 504u);
   EXPECT_EQ(sizeof(memsim::MemsimConfig), 168u);
   EXPECT_EQ(sizeof(realmem::RealMemConfig), 48u);
 }
