@@ -6,8 +6,7 @@
 // protocol processing against its own cache state when it runs.
 #pragma once
 
-#include <functional>
-
+#include "util/small_function.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -23,10 +22,15 @@ struct InterruptMessage {
   CoreId aff_core_id = kNoCore;
   /// The request this interrupt serves; peer interrupts share a RequestId.
   RequestId request = -1;
-  /// Softirq cost on the core that ends up handling it.
-  std::function<Cycles(CoreId handler, Time now)> softirq_cost;
+  /// Softirq cost on the core that ends up handling it. 24 inline bytes:
+  /// enough for the NIC's [this, queue, batch-slot] captures, and small
+  /// enough that the local APIC's wrapping lambda (this callable plus the
+  /// handler id) still fits a WorkItem's 48-byte inline callables — the
+  /// whole raise→deliver→softirq chain stays heap-free. Move-only, like
+  /// every SmallFunction: a message is delivered exactly once.
+  SmallFunction<Cycles(CoreId handler, Time now), 24> softirq_cost;
   /// Runs after the softirq completes on the handling core.
-  std::function<void(CoreId handler, Time now)> on_handled;
+  SmallFunction<void(CoreId handler, Time now), 24> on_handled;
   const char* tag = "irq";
 };
 

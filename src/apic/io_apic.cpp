@@ -11,17 +11,18 @@ namespace saisim::apic {
 void LocalApic::deliver(InterruptMessage msg, Time) {
   ++delivered_;
   const CoreId handler = core_.id();
-  // Wrap the message body into a softirq work item on this core.
-  auto cost = msg.softirq_cost;
-  auto done = msg.on_handled;
-  SAISIM_CHECK(cost != nullptr);
+  // Wrap the message body into a softirq work item on this core. The
+  // callables are move-only and consumed here: a message is delivered once.
+  SAISIM_CHECK(static_cast<bool>(msg.softirq_cost));
   core_.submit(cpu::WorkItem{
       .prio = cpu::Priority::kInterrupt,
-      .cost = [cost, handler](Time now) { return cost(handler, now); },
-      .on_complete =
-          [done, handler](Time now) {
-            if (done) done(handler, now);
-          },
+      .cost = [cost = std::move(msg.softirq_cost), handler](Time now) mutable {
+        return cost(handler, now);
+      },
+      .on_complete = [done = std::move(msg.on_handled),
+                      handler](Time now) mutable {
+        if (done) done(handler, now);
+      },
       .tag = msg.tag,
       .request = msg.request,
   });

@@ -261,6 +261,12 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     const u64 pending = engine.shard(r).pending_events();
     registry.counter(prefix + ".events_executed").add(executed);
     registry.counter(prefix + ".pending_events").add(pending);
+    // Barrier diagnostics: windows the shard actually executed, and the
+    // wall-clock time the coordinator spent waiting on it (0 when windows
+    // ran inline). Wall time never feeds a simulated metric — it lives in
+    // the metrics CSV only, so goldens stay bit-exact.
+    registry.counter(prefix + ".rounds").add(engine.shard_rounds(r));
+    registry.counter(prefix + ".sync_wait_ns").add(engine.shard_sync_wait_ns(r));
     events_total += executed;
     pending_total += pending;
   }

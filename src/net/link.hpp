@@ -3,8 +3,6 @@
 // port) emerges from the serialization queue.
 #pragma once
 
-#include <functional>
-
 #include "sim/actor.hpp"
 #include "stats/summary.hpp"
 #include "util/units.hpp"
@@ -17,8 +15,11 @@ class Link : public sim::Actor {
       : Actor(simulation), bw_(bandwidth), latency_(latency) {}
 
   /// Transmit `wire_bytes`; `delivered` fires when the last bit arrives at
-  /// the far end (store-and-forward semantics for the next hop).
-  void send(u64 wire_bytes, std::function<void()> delivered) {
+  /// the far end (store-and-forward semantics for the next hop). The
+  /// callback is the event queue's own type, so a packet-carrying capture
+  /// goes straight into the pooled slot — no intermediate std::function box
+  /// per hop.
+  void send(u64 wire_bytes, sim::EventQueue::Callback delivered) {
     const Time start = std::max(now(), busy_until_);
     const Time ser =
         bw_.is_unlimited() ? Time::zero() : bw_.transfer_time(wire_bytes);

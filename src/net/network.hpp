@@ -15,7 +15,6 @@
 // latency is exactly the lookahead every cross-shard edge must carry.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,12 +23,16 @@
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
+#include "util/small_function.hpp"
 
 namespace saisim::net {
 
 class Network {
  public:
-  using Receiver = std::function<void(Packet)>;
+  /// Per-node delivery sink. SmallFunction: receivers are registered once
+  /// per node and invoked once per packet — neither the registration nor
+  /// the call should ever touch the heap.
+  using Receiver = SmallFunction<void(Packet)>;
 
   /// Single-shard fabric: every node homes on `simulation`. This is the
   /// legacy construction used by direct Network tests and keeps the serial
@@ -200,7 +203,7 @@ class Network {
       d.downlink.send(wire, [this, p = std::move(p)]() mutable {
         Node& dd = at(p.dst);
         ++dd.delivered;
-        SAISIM_CHECK_MSG(dd.receiver != nullptr,
+        SAISIM_CHECK_MSG(static_cast<bool>(dd.receiver),
                          "packet delivered to node with no receiver");
         dd.receiver(std::move(p));
       });

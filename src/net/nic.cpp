@@ -80,6 +80,24 @@ void ClientNic::enqueue(Packet p) {
   }
 }
 
+u32 ClientNic::acquire_batch() {
+  if (batch_free_ != 0xFFFFFFFFu) {
+    const u32 id = batch_free_;
+    batch_free_ = batch_pool_[id]->next_free;
+    batch_pool_[id]->next_free = 0xFFFFFFFFu;
+    return id;
+  }
+  batch_pool_.push_back(std::make_unique<BatchSlot>());
+  return static_cast<u32>(batch_pool_.size() - 1);
+}
+
+void ClientNic::release_batch(u32 id) {
+  BatchSlot& slot = *batch_pool_[id];
+  slot.packets.clear();  // keeps capacity for the next interrupt
+  slot.next_free = batch_free_;
+  batch_free_ = id;
+}
+
 void ClientNic::raise_interrupt(int queue_idx) {
   Queue& queue = queues_[static_cast<u64>(queue_idx)];
   SAISIM_CHECK(!queue.pending.empty());
@@ -87,24 +105,26 @@ void ClientNic::raise_interrupt(int queue_idx) {
     sim().cancel(queue.flush_timer);
     queue.flush_timer.reset();
   }
-  auto batch = std::make_shared<std::vector<Packet>>(std::move(queue.pending));
-  queue.pending.clear();
+  const u32 bid = acquire_batch();
+  BatchSlot& slot = *batch_pool_[bid];
+  slot.packets.swap(queue.pending);  // both capacities are retained
   ++stats_.interrupts;
 
-  const Packet& first = batch->front();
+  const Packet& first = slot.packets.front();
   apic::InterruptMessage msg;
   msg.vector = cfg_.vector_base + queue_idx;
   msg.aff_core_id =
       hint_parser_ ? hint_parser_(first).value_or(kNoCore) : kNoCore;
   msg.request = first.request;
   msg.tag = "nic-rx";
-  msg.softirq_cost = [this, queue_idx, batch](CoreId handler, Time at) {
+  msg.softirq_cost = [this, queue_idx, bid](CoreId handler, Time at) {
     // Price the protocol work against the handling core's cache: the
     // skb-to-buffer copy *touches* every payload line, pulling it into this
     // core's private cache. This is the mechanism that makes interrupt
     // placement matter.
+    const std::vector<Packet>& batch = batch_pool_[bid]->packets;
     Cycles cost = Cycles::zero();
-    for (const Packet& p : *batch) {
+    for (const Packet& p : batch) {
       cost += cfg_.per_packet_cycles;
       cost += Cycles{static_cast<i64>(
           p.payload_bytes * static_cast<u64>(cfg_.per_byte_centicycles) /
@@ -118,12 +138,18 @@ void ClientNic::raise_interrupt(int queue_idx) {
       }
       stats_.rx_bytes += p.payload_bytes;
     }
-    queues_[static_cast<u64>(queue_idx)].outstanding -= batch->size();
+    queues_[static_cast<u64>(queue_idx)].outstanding -= batch.size();
     return cost;
   };
-  msg.on_handled = [this, batch](CoreId handler, Time at) {
-    if (!rx_handler_) return;
-    for (const Packet& p : *batch) rx_handler_(p, handler, at);
+  // on_complete always runs exactly once per work item, so the slot is
+  // reliably recycled here.
+  msg.on_handled = [this, bid](CoreId handler, Time at) {
+    if (rx_handler_) {
+      for (const Packet& p : batch_pool_[bid]->packets) {
+        rx_handler_(p, handler, at);
+      }
+    }
+    release_batch(bid);
   };
   io_apic_.raise(std::move(msg));
 }

@@ -8,7 +8,6 @@
 // received-but-unprocessed packets may be outstanding; overruns drop.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "mem/memory_system.hpp"
 #include "net/network.hpp"
 #include "util/reflect.hpp"
+#include "util/small_function.hpp"
 
 namespace saisim::net {
 
@@ -68,9 +68,9 @@ class ClientNic : public sim::Actor {
  public:
   /// Parses a source-aware hint out of a packet; installed by the SAIs
   /// stack. When absent (plain kernel), every interrupt carries no hint.
-  using HintParser = std::function<std::optional<CoreId>(const Packet&)>;
+  using HintParser = SmallFunction<std::optional<CoreId>(const Packet&)>;
   /// Invoked on the softirq core after protocol processing of each packet.
-  using RxHandler = std::function<void(const Packet&, CoreId handler, Time)>;
+  using RxHandler = SmallFunction<void(const Packet&, CoreId handler, Time)>;
 
   ClientNic(sim::Simulation& simulation, Network& network, NodeId self,
             apic::IoApic& io_apic, mem::MemorySystem& memory, Frequency freq,
@@ -90,10 +90,24 @@ class ClientNic : public sim::Actor {
     sim::EventHandle flush_timer;
   };
 
+  /// A raised interrupt's packet batch, pooled. The softirq cost and the
+  /// completion hook both need the packets; the old code shared them via a
+  /// make_shared<vector<Packet>> per interrupt — one control block plus one
+  /// buffer allocation each time. Slots recycle both: the vector's capacity
+  /// is retained across interrupts and swap()ed with the queue's pending
+  /// list, so the steady state allocates nothing. The slot is released by
+  /// the on_handled closure, which the core runs exactly once per work item.
+  struct BatchSlot {
+    std::vector<Packet> packets;
+    u32 next_free = 0xFFFFFFFFu;
+  };
+
   void on_network_deliver(Packet p);
   void enqueue(Packet p);
   int queue_of(const Packet& p) const;
   void raise_interrupt(int queue);
+  u32 acquire_batch();
+  void release_batch(u32 id);
 
   Network& network_;
   NodeId self_;
@@ -103,6 +117,8 @@ class ClientNic : public sim::Actor {
   NicConfig cfg_;
 
   std::vector<Queue> queues_;
+  std::vector<std::unique_ptr<BatchSlot>> batch_pool_;
+  u32 batch_free_ = 0xFFFFFFFFu;
   HintParser hint_parser_;
   RxHandler rx_handler_;
   NicStats stats_;

@@ -28,15 +28,27 @@ PfsClient::PfsClient(sim::Simulation& simulation, net::Network& network,
   });
 }
 
-void PfsClient::open(ProcessId proc, std::function<void(Time)> on_open) {
+StripSpan* PfsClient::alloc_span_block(u32 nspans) {
+  auto* spans =
+      static_cast<StripSpan*>(arena_.allocate(span_block_bytes(nspans)));
+  u64* bits = bits_of(spans, nspans);
+  for (u64 w = 0; w < bitmap_words(nspans); ++w) bits[w] = 0;
+  return spans;
+}
+
+void PfsClient::release_span_block(StripSpan* spans, u32 nspans) {
+  arena_.release(spans, span_block_bytes(nspans));
+}
+
+void PfsClient::open(ProcessId proc, OpenCallback on_open) {
   const RequestId id = next_request_++;
   PendingOpen po;
   po.proc = proc;
   po.on_open = std::move(on_open);
   po.current_timeout = cfg_.retransmit_timeout;
-  auto [it, inserted] = pending_opens_.emplace(id, std::move(po));
-  SAISIM_CHECK(inserted);
-  send_open_request(id, it->second);
+  PendingOpen& stored =
+      pending_opens_.emplace(static_cast<u64>(id), std::move(po));
+  send_open_request(id, stored);
   arm_open_timeout(id);
 }
 
@@ -57,12 +69,14 @@ RequestId PfsClient::read(ProcessId proc, std::optional<CoreId> hint,
                           u64 file_offset, u64 bytes, ReadCallback on_complete,
                           StripConsumer strip_consumer) {
   const RequestId id = next_request_++;
+  const u32 nspans = layout_.count_spans(file_offset, bytes);
   PendingRead pr;
   pr.proc = proc;
   pr.hint = hint;
-  pr.spans = layout_.decompose(file_offset, bytes);
-  pr.received.assign(pr.spans.size(), false);
-  pr.outstanding = static_cast<u32>(pr.spans.size());
+  pr.spans = alloc_span_block(nspans);
+  pr.nspans = nspans;
+  layout_.decompose_into(file_offset, bytes, pr.spans);
+  pr.outstanding = nspans;
   pr.retries_left = cfg_.max_retransmits;
   pr.current_timeout = cfg_.retransmit_timeout;
   pr.buffer = address_space_.allocate(bytes);
@@ -71,14 +85,12 @@ RequestId PfsClient::read(ProcessId proc, std::optional<CoreId> hint,
   pr.strip_consumer = std::move(strip_consumer);
 
   ++stats_.reads_issued;
-  auto [it, inserted] = pending_.emplace(id, std::move(pr));
-  SAISIM_CHECK(inserted);
+  PendingRead& stored = pending_.emplace(static_cast<u64>(id), std::move(pr));
   SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsIssue,
                      now(), self_, hint.value_or(kNoCore), id,
-                     static_cast<i64>(bytes),
-                     static_cast<i64>(it->second.spans.size()));
-  for (u64 s = 0; s < it->second.spans.size(); ++s) {
-    send_strip_request(id, it->second, s);
+                     static_cast<i64>(bytes), static_cast<i64>(nspans));
+  for (u32 s = 0; s < stored.nspans; ++s) {
+    send_strip_request(id, stored, s);
   }
   arm_timeout(id);
   return id;
@@ -111,12 +123,14 @@ RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
                            u64 file_offset, mem::AddressRange buffer,
                            ReadCallback on_complete) {
   const RequestId id = next_request_++;
+  const u32 nspans = layout_.count_spans(file_offset, buffer.bytes);
   PendingWrite pw;
   pw.proc = proc;
   pw.hint = hint;
-  pw.spans = layout_.decompose(file_offset, buffer.bytes);
-  pw.acked.assign(pw.spans.size(), false);
-  pw.outstanding = static_cast<u32>(pw.spans.size());
+  pw.spans = alloc_span_block(nspans);
+  pw.nspans = nspans;
+  layout_.decompose_into(file_offset, buffer.bytes, pw.spans);
+  pw.outstanding = nspans;
   pw.retries_left = cfg_.max_retransmits;
   pw.current_timeout = cfg_.retransmit_timeout;
   pw.buffer = buffer;
@@ -124,10 +138,10 @@ RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
   pw.on_complete = std::move(on_complete);
 
   ++stats_.writes_issued;
-  auto [it, inserted] = pending_writes_.emplace(id, std::move(pw));
-  SAISIM_CHECK(inserted);
-  for (u64 s = 0; s < it->second.spans.size(); ++s) {
-    send_strip_write(id, it->second, s);
+  PendingWrite& stored =
+      pending_writes_.emplace(static_cast<u64>(id), std::move(pw));
+  for (u32 s = 0; s < stored.nspans; ++s) {
+    send_strip_write(id, stored, s);
   }
   arm_write_timeout(id);
   return id;
@@ -155,33 +169,34 @@ void PfsClient::send_strip_write(RequestId id, const PendingWrite& pw,
 }
 
 void PfsClient::on_write_ack(const net::Packet& p, CoreId handler, Time at) {
-  auto it = pending_writes_.find(p.request);
-  if (it == pending_writes_.end()) {
+  PendingWrite* pw = pending_writes_.find(static_cast<u64>(p.request));
+  if (pw == nullptr) {
     ++stats_.duplicate_strips;
     return;
   }
-  PendingWrite& pw = it->second;
   const u64 s = p.strip_index;
-  SAISIM_CHECK(s < pw.acked.size());
-  if (pw.acked[s]) {
+  SAISIM_CHECK(s < pw->nspans);
+  u64* acked = bits_of(pw->spans, pw->nspans);
+  if (bit_test(acked, s)) {
     ++stats_.duplicate_strips;
     return;
   }
-  pw.acked[s] = true;
-  SAISIM_CHECK(pw.outstanding > 0);
-  if (--pw.outstanding > 0) return;
+  bit_set(acked, s);
+  SAISIM_CHECK(pw->outstanding > 0);
+  if (--pw->outstanding > 0) return;
 
-  sim().cancel(pw.timeout);
+  sim().cancel(pw->timeout);
   ReadResult result;
   result.request = p.request;
-  result.buffer = pw.buffer;
-  result.issued_at = pw.issued_at;
+  result.buffer = pw->buffer;
+  result.issued_at = pw->issued_at;
   result.completed_at = at;
-  result.strips = static_cast<u32>(pw.spans.size());
-  result.retransmitted_strips = pw.retransmitted;
+  result.strips = pw->nspans;
+  result.retransmitted_strips = pw->retransmitted;
   result.final_handler = handler;
-  auto cb = std::move(pw.on_complete);
-  pending_writes_.erase(it);
+  auto cb = std::move(pw->on_complete);
+  release_span_block(pw->spans, pw->nspans);
+  pending_writes_.erase(static_cast<u64>(p.request));
   ++stats_.writes_completed;
   stats_.write_latency_us.add(
       (result.completed_at - result.issued_at).microseconds());
@@ -196,49 +211,48 @@ Time PfsClient::backoff(Time current) const {
 }
 
 void PfsClient::arm_timeout(RequestId id) {
-  auto it = pending_.find(id);
-  SAISIM_CHECK(it != pending_.end());
-  it->second.timeout = sim().after(it->second.current_timeout,
-                                   [this, id] { on_timeout(id); });
+  PendingRead* pr = pending_.find(static_cast<u64>(id));
+  SAISIM_CHECK(pr != nullptr);
+  pr->timeout =
+      sim().after(pr->current_timeout, [this, id] { on_timeout(id); });
 }
 
 void PfsClient::on_timeout(RequestId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return;  // completed in the same tick
-  PendingRead& pr = it->second;
-  pr.timeout.reset();
-  if (pr.retries_left <= 0) {
+  PendingRead* pr = pending_.find(static_cast<u64>(id));
+  if (pr == nullptr) return;  // completed in the same tick
+  pr->timeout.reset();
+  if (pr->retries_left <= 0) {
     fail_read(id);
     return;
   }
-  --pr.retries_left;
-  for (u64 s = 0; s < pr.spans.size(); ++s) {
-    if (pr.received[s]) continue;
+  --pr->retries_left;
+  const u64* received = bits_of(pr->spans, pr->nspans);
+  for (u64 s = 0; s < pr->nspans; ++s) {
+    if (bit_test(received, s)) continue;
     ++stats_.retransmits;
-    ++pr.retransmitted;
+    ++pr->retransmitted;
     SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kDebug,
                   "retransmitting strip " << s << " of request " << id
                                           << " (retries left "
-                                          << pr.retries_left << ")");
-    send_strip_request(id, pr, s);
+                                          << pr->retries_left << ")");
+    send_strip_request(id, *pr, s);
   }
-  pr.current_timeout = backoff(pr.current_timeout);
+  pr->current_timeout = backoff(pr->current_timeout);
   arm_timeout(id);
 }
 
 void PfsClient::fail_read(RequestId id) {
-  auto it = pending_.find(id);
-  SAISIM_CHECK(it != pending_.end());
-  PendingRead& pr = it->second;
+  PendingRead* pr = pending_.find(static_cast<u64>(id));
+  SAISIM_CHECK(pr != nullptr);
   ReadResult result;
   result.request = id;
-  result.buffer = pr.buffer;
-  result.issued_at = pr.issued_at;
+  result.buffer = pr->buffer;
+  result.issued_at = pr->issued_at;
   result.completed_at = now();
-  result.strips = static_cast<u32>(pr.spans.size());
-  result.retransmitted_strips = pr.retransmitted;
+  result.strips = pr->nspans;
+  result.retransmitted_strips = pr->retransmitted;
   result.failed = true;
-  result.lost_strips = pr.outstanding;
+  result.lost_strips = pr->outstanding;
   SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kWarn,
                 "read " << id << " failed: " << result.lost_strips
                         << " strips still missing after "
@@ -247,99 +261,99 @@ void PfsClient::fail_read(RequestId id) {
                      now(), self_, kNoCore, id,
                      static_cast<i64>(result.buffer.bytes),
                      static_cast<i64>(result.retransmitted_strips));
-  auto cb = std::move(pr.on_complete);
-  address_space_.release(pr.buffer);
-  pending_.erase(it);
+  auto cb = std::move(pr->on_complete);
+  address_space_.release(pr->buffer);
+  release_span_block(pr->spans, pr->nspans);
+  pending_.erase(static_cast<u64>(id));
   ++stats_.reads_failed;
   if (cb) cb(result);
 }
 
 void PfsClient::arm_write_timeout(RequestId id) {
-  auto it = pending_writes_.find(id);
-  SAISIM_CHECK(it != pending_writes_.end());
-  it->second.timeout = sim().after(it->second.current_timeout,
-                                   [this, id] { on_write_timeout(id); });
+  PendingWrite* pw = pending_writes_.find(static_cast<u64>(id));
+  SAISIM_CHECK(pw != nullptr);
+  pw->timeout =
+      sim().after(pw->current_timeout, [this, id] { on_write_timeout(id); });
 }
 
 void PfsClient::on_write_timeout(RequestId id) {
-  auto it = pending_writes_.find(id);
-  if (it == pending_writes_.end()) return;  // completed in the same tick
-  PendingWrite& pw = it->second;
-  pw.timeout.reset();
-  if (pw.retries_left <= 0) {
+  PendingWrite* pw = pending_writes_.find(static_cast<u64>(id));
+  if (pw == nullptr) return;  // completed in the same tick
+  pw->timeout.reset();
+  if (pw->retries_left <= 0) {
     fail_write(id);
     return;
   }
-  --pw.retries_left;
-  for (u64 s = 0; s < pw.spans.size(); ++s) {
-    if (pw.acked[s]) continue;
+  --pw->retries_left;
+  const u64* acked = bits_of(pw->spans, pw->nspans);
+  for (u64 s = 0; s < pw->nspans; ++s) {
+    if (bit_test(acked, s)) continue;
     ++stats_.retransmits;
-    ++pw.retransmitted;
+    ++pw->retransmitted;
     SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kDebug,
                   "retransmitting write strip " << s << " of request " << id
                                                 << " (retries left "
-                                                << pw.retries_left << ")");
-    send_strip_write(id, pw, s);
+                                                << pw->retries_left << ")");
+    send_strip_write(id, *pw, s);
   }
-  pw.current_timeout = backoff(pw.current_timeout);
+  pw->current_timeout = backoff(pw->current_timeout);
   arm_write_timeout(id);
 }
 
 void PfsClient::fail_write(RequestId id) {
-  auto it = pending_writes_.find(id);
-  SAISIM_CHECK(it != pending_writes_.end());
-  PendingWrite& pw = it->second;
+  PendingWrite* pw = pending_writes_.find(static_cast<u64>(id));
+  SAISIM_CHECK(pw != nullptr);
   ReadResult result;
   result.request = id;
-  result.buffer = pw.buffer;
-  result.issued_at = pw.issued_at;
+  result.buffer = pw->buffer;
+  result.issued_at = pw->issued_at;
   result.completed_at = now();
-  result.strips = static_cast<u32>(pw.spans.size());
-  result.retransmitted_strips = pw.retransmitted;
+  result.strips = pw->nspans;
+  result.retransmitted_strips = pw->retransmitted;
   result.failed = true;
-  result.lost_strips = pw.outstanding;
+  result.lost_strips = pw->outstanding;
   SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kWarn,
                 "write " << id << " failed: " << result.lost_strips
                          << " strips unacked after "
                          << result.retransmitted_strips << " retransmits");
-  auto cb = std::move(pw.on_complete);
-  pending_writes_.erase(it);
+  auto cb = std::move(pw->on_complete);
+  release_span_block(pw->spans, pw->nspans);
+  pending_writes_.erase(static_cast<u64>(id));
   ++stats_.writes_failed;
   if (cb) cb(result);
 }
 
 void PfsClient::arm_open_timeout(RequestId id) {
-  auto it = pending_opens_.find(id);
-  SAISIM_CHECK(it != pending_opens_.end());
-  it->second.timeout = sim().after(it->second.current_timeout,
-                                   [this, id] { on_open_timeout(id); });
+  PendingOpen* po = pending_opens_.find(static_cast<u64>(id));
+  SAISIM_CHECK(po != nullptr);
+  po->timeout =
+      sim().after(po->current_timeout, [this, id] { on_open_timeout(id); });
 }
 
 void PfsClient::on_open_timeout(RequestId id) {
-  auto it = pending_opens_.find(id);
-  if (it == pending_opens_.end()) return;  // completed in the same tick
-  PendingOpen& po = it->second;
-  po.timeout.reset();
+  PendingOpen* po = pending_opens_.find(static_cast<u64>(id));
+  if (po == nullptr) return;  // completed in the same tick
+  po->timeout.reset();
   ++stats_.retransmits;
   SAISIM_LOG_AT(util::Subsystem::kPfs, LogLevel::kDebug,
                 "retransmitting metadata open " << id);
-  send_open_request(id, po);
-  po.current_timeout = backoff(po.current_timeout);
+  send_open_request(id, *po);
+  po->current_timeout = backoff(po->current_timeout);
   arm_open_timeout(id);
 }
 
 void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   if (p.kind == net::PacketKind::kMetaReply) {
-    auto it = pending_opens_.find(p.request);
-    if (it == pending_opens_.end()) {
+    PendingOpen* po = pending_opens_.find(static_cast<u64>(p.request));
+    if (po == nullptr) {
       // Reply to a retransmitted open that already completed — same dedup
       // treatment as a late data strip.
       ++stats_.duplicate_strips;
       return;
     }
-    sim().cancel(it->second.timeout);
-    auto cb = std::move(it->second.on_open);
-    pending_opens_.erase(it);
+    sim().cancel(po->timeout);
+    auto cb = std::move(po->on_open);
+    pending_opens_.erase(static_cast<u64>(p.request));
     if (cb) cb(at);
     return;
   }
@@ -349,39 +363,40 @@ void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   }
   SAISIM_CHECK(p.kind == net::PacketKind::kPfsData);
 
-  auto it = pending_.find(p.request);
-  if (it == pending_.end()) {
+  PendingRead* pr = pending_.find(static_cast<u64>(p.request));
+  if (pr == nullptr) {
     ++stats_.duplicate_strips;  // reply to an already-satisfied retransmit
     return;
   }
-  PendingRead& pr = it->second;
   const u64 s = p.strip_index;
-  SAISIM_CHECK(s < pr.received.size());
-  if (pr.received[s]) {
+  SAISIM_CHECK(s < pr->nspans);
+  u64* received = bits_of(pr->spans, pr->nspans);
+  if (bit_test(received, s)) {
     ++stats_.duplicate_strips;
     return;
   }
-  pr.received[s] = true;
+  bit_set(received, s);
   ++stats_.strips_received;
   SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsStrip, at,
                      self_, handler, p.request, static_cast<i64>(s),
                      static_cast<i64>(p.payload_bytes));
-  if (pr.strip_consumer) pr.strip_consumer(p, handler, at);
-  SAISIM_CHECK(pr.outstanding > 0);
-  if (--pr.outstanding > 0) return;
+  if (pr->strip_consumer) pr->strip_consumer(p, handler, at);
+  SAISIM_CHECK(pr->outstanding > 0);
+  if (--pr->outstanding > 0) return;
 
   // All peer strips arrived and were protocol-processed; wake the reader.
-  sim().cancel(pr.timeout);
+  sim().cancel(pr->timeout);
   ReadResult result;
   result.request = p.request;
-  result.buffer = pr.buffer;
-  result.issued_at = pr.issued_at;
+  result.buffer = pr->buffer;
+  result.issued_at = pr->issued_at;
   result.completed_at = at;
-  result.strips = static_cast<u32>(pr.spans.size());
-  result.retransmitted_strips = pr.retransmitted;
+  result.strips = pr->nspans;
+  result.retransmitted_strips = pr->retransmitted;
   result.final_handler = handler;
-  auto cb = std::move(pr.on_complete);
-  pending_.erase(it);
+  auto cb = std::move(pr->on_complete);
+  release_span_block(pr->spans, pr->nspans);
+  pending_.erase(static_cast<u64>(p.request));
   ++stats_.reads_completed;
   const Time latency = result.completed_at - result.issued_at;
   stats_.read_latency_us.add(latency.microseconds());

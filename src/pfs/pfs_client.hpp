@@ -10,9 +10,7 @@
 // client behaves like an unmodified PVFS client.
 #pragma once
 
-#include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/address_space.hpp"
@@ -20,7 +18,10 @@
 #include "pfs/stripe_layout.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/reflect.hpp"
+#include "util/small_function.hpp"
 
 namespace saisim::pfs {
 
@@ -84,16 +85,21 @@ struct PfsClientStats {
 
 class PfsClient : public sim::Actor {
  public:
+  // Callbacks are SmallFunctions: issuing a request moves its completion
+  // closure into the pending table inline, so the per-request bookkeeping
+  // performs no heap allocation. All of them are move-only — each request
+  // has exactly one completion owner.
   using RequestDecorator =
-      std::function<void(net::Packet&, std::optional<CoreId> hint)>;
-  using ReadCallback = std::function<void(const ReadResult&)>;
+      SmallFunction<void(net::Packet&, std::optional<CoreId> hint)>;
+  using ReadCallback = SmallFunction<void(const ReadResult&)>;
   /// Invoked once per received strip, from softirq context on the handling
   /// core. Callers use it to model the kernel's incremental copy of each
   /// strip to the blocked reader (which runs on the reader's core — the
   /// step where balanced interrupt placement pays the cross-core
   /// migration).
   using StripConsumer =
-      std::function<void(const net::Packet&, CoreId handler, Time)>;
+      SmallFunction<void(const net::Packet&, CoreId handler, Time)>;
+  using OpenCallback = SmallFunction<void(Time)>;
 
   PfsClient(sim::Simulation& simulation, net::Network& network,
             net::ClientNic& nic, NodeId self, StripeLayout layout,
@@ -101,7 +107,7 @@ class PfsClient : public sim::Actor {
             mem::AddressSpace& address_space, PfsClientConfig config = {});
 
   /// Metadata open round-trip; `on_open` fires when the layout arrives.
-  void open(ProcessId proc, std::function<void(Time)> on_open);
+  void open(ProcessId proc, OpenCallback on_open);
 
   /// Issue a striped read. `hint` is the requesting core's id (present only
   /// when the SAIs stack is active); the decorator encodes it.
@@ -128,11 +134,15 @@ class PfsClient : public sim::Actor {
   const StripeLayout& layout() const { return layout_; }
 
  private:
+  // Per-request span storage lives in one arena block: `nspans` StripSpans
+  // followed by a completion bitmap of (nspans+63)/64 u64 words. The block
+  // is released back to the arena when the request completes or fails, so
+  // steady-state issue/complete cycles allocate nothing.
   struct PendingRead {
     ProcessId proc = -1;
     std::optional<CoreId> hint;
-    std::vector<StripSpan> spans;
-    std::vector<bool> received;
+    StripSpan* spans = nullptr;  // arena block; bitmap words follow
+    u32 nspans = 0;
     u32 outstanding = 0;
     u32 retransmitted = 0;
     int retries_left = 0;
@@ -147,8 +157,8 @@ class PfsClient : public sim::Actor {
   struct PendingWrite {
     ProcessId proc = -1;
     std::optional<CoreId> hint;
-    std::vector<StripSpan> spans;
-    std::vector<bool> acked;
+    StripSpan* spans = nullptr;  // arena block; ack bitmap words follow
+    u32 nspans = 0;
     u32 outstanding = 0;
     u32 retransmitted = 0;
     int retries_left = 0;
@@ -163,10 +173,27 @@ class PfsClient : public sim::Actor {
   /// indefinitely (capped backoff) until the reply lands.
   struct PendingOpen {
     ProcessId proc = -1;
-    std::function<void(Time)> on_open;
+    OpenCallback on_open;
     Time current_timeout = Time::zero();
     sim::EventHandle timeout;
   };
+
+  static u64 bitmap_words(u32 nspans) { return (u64{nspans} + 63) / 64; }
+  static u64 span_block_bytes(u32 nspans) {
+    return u64{nspans} * sizeof(StripSpan) + bitmap_words(nspans) * sizeof(u64);
+  }
+  /// Bitmap view of a span block (the words after the spans; StripSpan is
+  /// 8-aligned so the words land aligned).
+  static u64* bits_of(StripSpan* spans, u32 nspans) {
+    return reinterpret_cast<u64*>(spans + nspans);
+  }
+  static bool bit_test(const u64* bits, u64 i) {
+    return ((bits[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+  static void bit_set(u64* bits, u64 i) { bits[i >> 6] |= u64{1} << (i & 63); }
+
+  StripSpan* alloc_span_block(u32 nspans);
+  void release_span_block(StripSpan* spans, u32 nspans);
 
   void on_rx(const net::Packet& p, CoreId handler, Time at);
   void send_strip_request(RequestId id, const PendingRead& pr, u64 span_idx);
@@ -193,9 +220,10 @@ class PfsClient : public sim::Actor {
   PfsClientConfig cfg_;
   RequestDecorator decorator_;
 
-  std::unordered_map<RequestId, PendingRead> pending_;
-  std::unordered_map<RequestId, PendingWrite> pending_writes_;
-  std::unordered_map<RequestId, PendingOpen> pending_opens_;
+  util::Arena arena_;
+  util::FlatIdMap<PendingRead> pending_;
+  util::FlatIdMap<PendingWrite> pending_writes_;
+  util::FlatIdMap<PendingOpen> pending_opens_;
   mem::AddressRange control_scratch_;
   RequestId next_request_ = 1;
   u64 next_packet_id_ = 1;

@@ -33,19 +33,34 @@ class StripeLayout {
     return static_cast<int>(strip_index % static_cast<u64>(num_servers_));
   }
 
-  /// Decompose a byte range into its strips.
-  std::vector<StripSpan> decompose(u64 offset, u64 bytes) const {
+  /// Number of strips a byte range decomposes into — the size of the block
+  /// `decompose_into` fills. Exact, so callers can allocate span storage
+  /// (e.g. from an arena) without ever materialising a vector.
+  u32 count_spans(u64 offset, u64 bytes) const {
     SAISIM_CHECK(bytes > 0);
-    std::vector<StripSpan> out;
+    return static_cast<u32>((offset + bytes - 1) / strip_size_ -
+                            offset / strip_size_ + 1);
+  }
+
+  /// Decompose a byte range into caller-provided storage holding exactly
+  /// `count_spans(offset, bytes)` entries.
+  void decompose_into(u64 offset, u64 bytes, StripSpan* out) const {
+    SAISIM_CHECK(bytes > 0);
     u64 pos = offset;
     const u64 end = offset + bytes;
     while (pos < end) {
       const u64 strip = pos / strip_size_;
       const u64 strip_end = (strip + 1) * strip_size_;
       const u64 take = (end < strip_end ? end : strip_end) - pos;
-      out.push_back(StripSpan{strip, server_of_strip(strip), pos, take});
+      *out++ = StripSpan{strip, server_of_strip(strip), pos, take};
       pos += take;
     }
+  }
+
+  /// Decompose a byte range into its strips (allocating convenience form).
+  std::vector<StripSpan> decompose(u64 offset, u64 bytes) const {
+    std::vector<StripSpan> out(count_spans(offset, bytes));
+    decompose_into(offset, bytes, out.data());
     return out;
   }
 

@@ -1,31 +1,69 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "sim/outbox_merge.hpp"
 
 namespace saisim::sim {
 
-Engine::Engine(u64 seed, int shards, Time lookahead) : lookahead_(lookahead) {
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline u64 monotonic_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+Engine::Engine(u64 seed, int shards, Time lookahead, EngineOptions options)
+    : lookahead_(lookahead),
+      spin_iterations_(options.spin_iterations),
+      outbox_capacity_(options.outbox_capacity) {
   SAISIM_CHECK(shards >= 1);
   SAISIM_CHECK_MSG(shards == 1 || lookahead > Time::zero(),
                    "a multi-shard engine needs a positive lookahead");
   shards_.reserve(static_cast<u64>(shards));
   for (int r = 0; r < shards; ++r) {
-    shards_.push_back(std::make_unique<ShardCtx>(shard_seed(seed, r)));
+    shards_.push_back(
+        std::make_unique<ShardCtx>(shard_seed(seed, r), outbox_capacity_));
   }
-  // Shard 0 executes on the caller's thread; ranks 1..N-1 each get a
-  // dedicated worker that sleeps between rounds.
-  workers_.reserve(static_cast<u64>(shards - 1));
-  for (int r = 1; r < shards; ++r) {
-    workers_.emplace_back([this, r] { worker_main(r); });
+  // Shard 0 always executes on the caller's thread. Ranks 1..N-1 get
+  // dedicated workers only when threads can actually run concurrently
+  // (or a test forces the barrier path); otherwise the coordinator runs
+  // every window inline — identical results, none of the handshake.
+  const bool threaded =
+      shards > 1 &&
+      (options.threading == EngineOptions::Threading::kForceThreads ||
+       (options.threading == EngineOptions::Threading::kAuto &&
+        std::thread::hardware_concurrency() > 1));
+  if (threaded) {
+    workers_.reserve(static_cast<u64>(shards - 1));
+    for (int r = 1; r < shards; ++r) {
+      workers_.emplace_back([this, r] { worker_main(r); });
+    }
   }
 }
 
 Engine::~Engine() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    quit_ = true;
+  quit_.store(true, std::memory_order_seq_cst);
+  for (u64 r = 1; r < shards_.size(); ++r) {
+    ShardCtx& s = *shards_[r];
+    {
+      const std::lock_guard<std::mutex> lock(s.park_mutex);
+    }
+    s.park_cv.notify_all();
   }
-  work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -48,7 +86,10 @@ void Engine::post(int src, int dst, Time effect, EventQueue::Callback fn) {
     ++cross_posts_;
     return;
   }
-  s.outbox.push_back(Post{effect, src, dst, ++s.post_seq, std::move(fn)});
+  Post p{effect, src, dst, ++s.post_seq, std::move(fn)};
+  if (!s.outbox->try_push(std::move(p))) {
+    s.spill.push_back(std::move(p));  // drained and ring regrown at barrier
+  }
 }
 
 Time Engine::min_next_event_time() {
@@ -57,72 +98,164 @@ Time Engine::min_next_event_time() {
   return t;
 }
 
-void Engine::begin_round(Time horizon) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    horizon_ = horizon;
-    done_ = 0;
-    ++round_generation_;
+void Engine::collect_active(Time horizon) {
+  active_scratch_.clear();
+  for (int r = 1; r < num_shards(); ++r) {
+    if (ctx(r).sim.next_event_time() < horizon) active_scratch_.push_back(r);
   }
-  ++rounds_;
-  work_cv_.notify_all();
 }
 
-void Engine::finish_round() {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock,
-                  [this] { return done_ == static_cast<int>(workers_.size()); });
+void Engine::publish_round(int rank, Time horizon) {
+  ShardCtx& s = ctx(rank);
+  s.horizon = horizon;
+  // The coordinator is go's only writer; the store is seq_cst for the
+  // Dekker handshake with the worker's parked flag (release would publish
+  // horizon, but could reorder after the parked load below).
+  const u64 epoch = s.go.load(std::memory_order_relaxed) + 1;
+  s.go.store(epoch, std::memory_order_seq_cst);
+  if (s.parked.load(std::memory_order_seq_cst)) {
+    {
+      const std::lock_guard<std::mutex> lock(s.park_mutex);
+    }
+    s.park_cv.notify_one();
   }
-  merge_outboxes();
+}
+
+void Engine::run_window_inline(int rank, Time horizon) {
+  ShardCtx& s = ctx(rank);
+  // The executing thread adopts the shard's tracer and rank, exactly as a
+  // worker would — which thread runs a window is unobservable to the model.
+  const trace::TraceScope trace_scope(s.tracer);
+  const RankScope rank_scope(rank);
+  s.sim.run_window(horizon);
+  ++s.rounds;
+}
+
+void Engine::try_claim_and_run(int rank) {
+  ShardCtx& s = ctx(rank);
+  const u64 epoch = s.go.load(std::memory_order_relaxed);
+  u64 expected = epoch - 1;
+  if (!s.claim.compare_exchange_strong(expected, epoch,
+                                       std::memory_order_acq_rel)) {
+    return;  // the worker got there first
+  }
+  run_window_inline(rank, s.horizon);
+  s.done.store(epoch, std::memory_order_release);
+}
+
+void Engine::wait_for_round() {
+  for (const int rank : active_scratch_) {
+    ShardCtx& s = ctx(rank);
+    const u64 epoch = s.go.load(std::memory_order_relaxed);
+    if (s.done.load(std::memory_order_acquire) == epoch) continue;
+    const u64 t0 = monotonic_ns();
+    bool finished = false;
+    for (int spins = spin_iterations_; spins > 0; --spins) {
+      if (s.done.load(std::memory_order_acquire) == epoch) {
+        finished = true;
+        break;
+      }
+      cpu_pause();
+    }
+    if (!finished) {
+      coord_waiting_.store(true, std::memory_order_seq_cst);
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [&s, epoch] {
+        return s.done.load(std::memory_order_seq_cst) == epoch;
+      });
+      coord_waiting_.store(false, std::memory_order_relaxed);
+    }
+    s.sync_wait_ns += monotonic_ns() - t0;
+  }
 }
 
 void Engine::merge_outboxes() {
-  merge_scratch_.clear();
-  for (auto& s : shards_) {
-    for (Post& p : s->outbox) merge_scratch_.push_back(std::move(p));
-    s->outbox.clear();
+  // Drain every shard's ring (and spill) into its retained merge buffer.
+  // The done-acquire (or the inline execution itself) ordered the
+  // producer's writes before these reads.
+  bool any = false;
+  for (auto& sp : shards_) {
+    ShardCtx& s = *sp;
+    while (Post* p = s.outbox->front()) {
+      s.merge_buf.push_back(std::move(*p));
+      s.outbox->pop_front();
+    }
+    if (!s.spill.empty()) {
+      for (Post& p : s.spill) s.merge_buf.push_back(std::move(p));
+      s.spill.clear();
+      // The ring was too small for this round's traffic: regrow it here, at
+      // the barrier, where no producer can be mid-push.
+      const u64 want =
+          std::max(s.outbox->capacity() * 2,
+                   std::bit_ceil(s.merge_buf.size() + 1));
+      s.outbox = std::make_unique<util::SpscRing<Post>>(want);
+    }
+    if (!s.merge_buf.empty()) {
+      sort_outbox(s.merge_buf);  // usually just the is_sorted scan
+      any = true;
+    }
   }
-  // The deterministic merge: (effect, src, seq) is a total order over the
-  // round's messages that does not depend on which worker finished first.
-  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
-            [](const Post& a, const Post& b) {
-              if (a.effect != b.effect) return a.effect < b.effect;
-              if (a.src != b.src) return a.src < b.src;
-              return a.seq < b.seq;
-            });
-  cross_posts_ += merge_scratch_.size();
-  for (Post& p : merge_scratch_) {
+  if (!any) return;  // fused round: no cross-shard traffic, skip the merge
+  if (merge_ptrs_.size() != shards_.size()) {
+    merge_ptrs_.clear();
+    for (auto& sp : shards_) merge_ptrs_.push_back(&sp->merge_buf);
+  }
+  merge_sorted_outboxes(merge_ptrs_.data(), num_shards(), [this](Post&& p) {
+    ++cross_posts_;
     ctx(p.dst).sim.at(p.effect, std::move(p.fn));
-  }
-  merge_scratch_.clear();
+  });
 }
 
 void Engine::worker_main(int rank) {
   ShardCtx& s = ctx(rank);
   u64 seen = 0;
   for (;;) {
-    Time horizon;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [this, seen] { return quit_ || round_generation_ != seen; });
-      if (quit_) return;
-      seen = round_generation_;
-      horizon = horizon_;
+    // Wait for a new epoch: spin on our own line, then park.
+    u64 epoch = seen;
+    int spins = spin_iterations_;
+    for (;;) {
+      if (quit_.load(std::memory_order_acquire)) return;
+      epoch = s.go.load(std::memory_order_acquire);
+      if (epoch != seen) break;
+      if (--spins <= 0) {
+        s.parked.store(true, std::memory_order_seq_cst);
+        {
+          std::unique_lock<std::mutex> lock(s.park_mutex);
+          s.park_cv.wait(lock, [this, &s, seen] {
+            return quit_.load(std::memory_order_seq_cst) ||
+                   s.go.load(std::memory_order_seq_cst) != seen;
+          });
+        }
+        s.parked.store(false, std::memory_order_relaxed);
+        if (quit_.load(std::memory_order_acquire)) return;
+        epoch = s.go.load(std::memory_order_acquire);
+        break;
+      }
+      cpu_pause();
+    }
+    seen = epoch;
+    u64 expected = epoch - 1;
+    if (!s.claim.compare_exchange_strong(expected, epoch,
+                                         std::memory_order_acq_rel)) {
+      continue;  // the coordinator claimed this window while we woke up
     }
     {
       // Workers record into their own per-shard tracer (merged at end of
       // run); RankScope makes current_rank() reflect the executing shard.
       const trace::TraceScope trace_scope(s.tracer);
       const RankScope rank_scope(rank);
-      s.sim.run_window(horizon);
+      s.sim.run_window(s.horizon);
+      ++s.rounds;
     }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++done_;
+    // seq_cst: the done publication must not reorder after the
+    // coord_waiting_ load (the coordinator's half checks the mirror order).
+    s.done.store(epoch, std::memory_order_seq_cst);
+    if (coord_waiting_.load(std::memory_order_seq_cst)) {
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex_);
+      }
+      done_cv_.notify_one();
     }
-    done_cv_.notify_one();
   }
 }
 

@@ -39,7 +39,13 @@ struct EventHandle {
 
 class EventQueue {
  public:
-  using Callback = SmallFunction<void()>;
+  /// 128 inline bytes: sized for the kernel's biggest hot-path captures —
+  /// a net::Packet (88 B) plus a this-pointer and a length rides in every
+  /// link-delivery and server-reply callback, and the I/O APIC's delivery
+  /// lambda carries a whole InterruptMessage (104 B). All of those stayed
+  /// inline-pooled here; spilling any of them would put a heap allocation
+  /// back on the per-packet path.
+  using Callback = SmallFunction<void(), 128>;
 
   /// Schedule `fn` at absolute time `when`. `when` must not precede the
   /// last popped time (no scheduling into the past).

@@ -1,0 +1,69 @@
+// Deterministic k-way merge of per-shard outbox buffers.
+//
+// The round contract orders cross-shard posts by (effect_time, src_rank,
+// seq). PR 6 realised that order by concatenating every outbox and sorting
+// the lot — O(n log n) over the whole round even though each shard's posts
+// are generated in nearly non-decreasing effect order (a post's effect is
+// the sender's monotonic clock plus the fixed switch hop). These helpers
+// exploit that: each per-shard buffer is made sorted by (effect, seq) —
+// usually a no-op is_sorted scan — and then a linear selection merge over
+// the k buffers emits the global order directly. Ties on effect resolve to
+// the lower source rank because the selection scans buffers in rank order
+// with a strict comparison.
+//
+// PostT needs members `effect` (ordered), `src` (int rank) and `seq` (u64,
+// strictly increasing within one buffer). The engine instantiates this with
+// its callback-carrying Post; the property test replays randomized outboxes
+// through both this merge and the old stable_sort and compares byte-wise.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace saisim::sim {
+
+/// Sort `box` by (effect, seq) unless it already is — the common case.
+/// Within one buffer seq is strictly increasing in append order, so a
+/// stable sort on effect alone realises the (effect, seq) order.
+template <class PostT>
+void sort_outbox(std::vector<PostT>& box) {
+  const bool sorted = std::is_sorted(
+      box.begin(), box.end(),
+      [](const PostT& a, const PostT& b) { return a.effect < b.effect; });
+  if (!sorted) {
+    std::stable_sort(
+        box.begin(), box.end(),
+        [](const PostT& a, const PostT& b) { return a.effect < b.effect; });
+  }
+}
+
+/// Merge `n` buffers (each sorted by (effect, seq); boxes[r] holds rank r's
+/// posts) in the global (effect, src, seq) order, invoking emit(PostT&&) on
+/// each. Buffers are left empty-but-capacitied.
+template <class PostT, class Emit>
+void merge_sorted_outboxes(std::vector<PostT>* const* boxes, int n,
+                           Emit&& emit) {
+  // Selection merge: k is the shard count (small), rounds carry few posts,
+  // so an O(k) scan per element beats heap bookkeeping. Scanning ranks in
+  // ascending order with a strict < makes the tie-break on src implicit.
+  std::vector<u64> cursor(static_cast<u64>(n), 0);
+  for (;;) {
+    int best = -1;
+    for (int r = 0; r < n; ++r) {
+      const std::vector<PostT>& box = *boxes[r];
+      if (cursor[static_cast<u64>(r)] >= box.size()) continue;
+      if (best == -1 ||
+          box[cursor[static_cast<u64>(r)]].effect <
+              (*boxes[best])[cursor[static_cast<u64>(best)]].effect) {
+        best = r;
+      }
+    }
+    if (best == -1) break;
+    emit(std::move((*boxes[best])[cursor[static_cast<u64>(best)]++]));
+  }
+  for (int r = 0; r < n; ++r) boxes[r]->clear();
+}
+
+}  // namespace saisim::sim

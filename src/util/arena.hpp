@@ -1,0 +1,132 @@
+// Reusable bump-and-recycle arena for small, short-lived blocks.
+//
+// The PFS client allocates a spans array plus a received-bitmap for every
+// read/write request and frees them on completion; with std::vector each
+// request pays two heap round-trips. The arena serves those blocks from
+// retained slabs: allocation is a size-class freelist pop (or a pointer
+// bump the first time a class is seen), release pushes the block back onto
+// its class's freelist, and the slab memory is never returned to the system
+// — so after the first few requests the steady state performs no heap
+// allocation at all.
+//
+// Blocks are rounded up to power-of-two size classes (minimum 16 bytes)
+// and aligned to alignof(std::max_align_t). Request lifetimes complete out
+// of order, which is why recycling is per-class freelists rather than a
+// pure bump-and-reset; reset() additionally rewinds everything (dropping
+// all outstanding blocks) for callers with a natural quiescent point.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace saisim::util {
+
+class Arena {
+ public:
+  /// `slab_bytes` is the granularity of growth; oversized blocks get a slab
+  /// of their own.
+  explicit Arena(u64 slab_bytes = 64 << 10) : slab_bytes_(slab_bytes) {
+    SAISIM_CHECK(slab_bytes >= kMinClass);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` (max_align_t-aligned). O(1): freelist pop or bump.
+  void* allocate(u64 bytes) {
+    const u64 cls = class_size(bytes);
+    const u32 ci = class_index(cls);
+    ++live_blocks_;
+    if (FreeNode* n = free_[ci]) {
+      free_[ci] = n->next;
+      return n;
+    }
+    return bump(cls);
+  }
+
+  /// Return a block obtained from allocate(bytes) to its size class.
+  void release(void* p, u64 bytes) {
+    SAISIM_CHECK(p != nullptr && live_blocks_ > 0);
+    --live_blocks_;
+    const u32 ci = class_index(class_size(bytes));
+    FreeNode* n = static_cast<FreeNode*>(p);
+    n->next = free_[ci];
+    free_[ci] = n;
+  }
+
+  /// Drop every outstanding block and rewind to the retained slabs. Only
+  /// legal when the owner knows no live pointers remain.
+  void reset() {
+    for (FreeNode*& head : free_) head = nullptr;
+    cursor_slab_ = 0;
+    cursor_off_ = 0;
+    live_blocks_ = 0;
+  }
+
+  /// Blocks handed out and not yet released.
+  u64 live_blocks() const { return live_blocks_; }
+  /// Total slab memory held (never shrinks; the reuse guarantee).
+  u64 bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  static constexpr u64 kMinClass = 16;
+  static constexpr u32 kNumClasses = 48;  // 16 B .. 2^51 B
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  struct Slab {
+    std::unique_ptr<std::byte[]> mem;
+    u64 size = 0;
+  };
+
+  static u64 class_size(u64 bytes) {
+    return std::bit_ceil(bytes < kMinClass ? kMinClass : bytes);
+  }
+  static u32 class_index(u64 cls) {
+    const u32 i = static_cast<u32>(std::countr_zero(cls)) - 4;  // 16 B -> 0
+    SAISIM_CHECK(i < kNumClasses);
+    return i;
+  }
+
+  void* bump(u64 cls) {
+    // Walk the retained slabs from the cursor; append a new one only when
+    // none has room. Class sizes are powers of two >= 16 and every slab
+    // base + cursor stays 16-aligned, so blocks are max_align_t-aligned.
+    while (cursor_slab_ < slabs_.size()) {
+      Slab& s = slabs_[cursor_slab_];
+      if (s.size - cursor_off_ >= cls) {
+        void* p = s.mem.get() + cursor_off_;
+        cursor_off_ += cls;
+        return p;
+      }
+      ++cursor_slab_;
+      cursor_off_ = 0;
+    }
+    const u64 size = cls > slab_bytes_ ? cls : slab_bytes_;
+    // operator new[] returns __STDCPP_DEFAULT_NEW_ALIGNMENT__-aligned
+    // storage, i.e. max_align_t-aligned — no over-aligned machinery needed.
+    slabs_.push_back(
+        Slab{std::unique_ptr<std::byte[]>(new std::byte[size]), size});
+    bytes_reserved_ += size;
+    cursor_slab_ = slabs_.size() - 1;
+    cursor_off_ = cls;
+    return slabs_.back().mem.get();
+  }
+
+  u64 slab_bytes_;
+  std::vector<Slab> slabs_;
+  u64 cursor_slab_ = 0;
+  u64 cursor_off_ = 0;
+  FreeNode* free_[kNumClasses] = {};
+  u64 live_blocks_ = 0;
+  u64 bytes_reserved_ = 0;
+};
+
+}  // namespace saisim::util

@@ -1,0 +1,99 @@
+// Single-producer / single-consumer ring with retained capacity.
+//
+// The sharded engine's per-shard outboxes are the motivating user: during a
+// round exactly one thread (whichever claimed the shard's window) produces
+// cross-shard posts, and at the barrier the coordinator drains them. The old
+// std::vector outboxes paid a grow-and-clear cycle per round; this ring keeps
+// its storage forever, pushes and pops are wait-free, and the producer and
+// consumer indices live on separate cache lines so neither side's progress
+// invalidates the other's line.
+//
+// Concurrency contract (the classical SPSC discipline, as in folly's
+// ProducerConsumerQueue): at most one thread calls try_push at a time and at
+// most one thread calls front/pop_front/consumer_empty at a time; the two
+// may be different threads running concurrently. Capacity is fixed at
+// construction (a power of two); a full ring rejects the push — callers that
+// must not lose items keep a producer-local spill and resize at a quiescent
+// point (see sim::Engine).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <new>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace saisim::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(u64 capacity = 256)
+      : cap_(std::bit_ceil(capacity < 2 ? u64{2} : capacity)),
+        mask_(cap_ - 1),
+        slots_(static_cast<T*>(::operator new[](
+            cap_ * sizeof(T), std::align_val_t{alignof(T)}))) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  ~SpscRing() {
+    while (front() != nullptr) pop_front();
+    ::operator delete[](slots_, std::align_val_t{alignof(T)});
+  }
+
+  u64 capacity() const { return cap_; }
+
+  /// Producer side: append `v`, or return false when the ring is full.
+  bool try_push(T&& v) {
+    const u64 t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == cap_) return false;
+    ::new (slots_ + (t & mask_)) T(std::move(v));
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: number of free slots right now (momentary; the consumer
+  /// can only make it grow).
+  u64 producer_free() const {
+    return cap_ - (tail_.load(std::memory_order_relaxed) -
+                   head_.load(std::memory_order_acquire));
+  }
+
+  /// Consumer side: pointer to the oldest element, or nullptr when empty.
+  /// The pointer stays valid until pop_front().
+  T* front() {
+    const u64 h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return nullptr;
+    return std::launder(slots_ + (h & mask_));
+  }
+
+  /// Consumer side: destroy the oldest element. Requires front() != nullptr.
+  void pop_front() {
+    const u64 h = head_.load(std::memory_order_relaxed);
+    SAISIM_CHECK(tail_.load(std::memory_order_acquire) != h);
+    std::launder(slots_ + (h & mask_))->~T();
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Consumer side: true when no element is visible to the consumer.
+  bool consumer_empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Producer writes tail_, consumer writes head_; each polls the other's
+  // index. Separate lines keep a push from bouncing the popper's line.
+  static constexpr u64 kLine = 64;
+  const u64 cap_;
+  const u64 mask_;
+  T* const slots_;
+  alignas(kLine) std::atomic<u64> head_{0};
+  alignas(kLine) std::atomic<u64> tail_{0};
+};
+
+}  // namespace saisim::util

@@ -1,0 +1,159 @@
+// The threaded round barrier, exercised explicitly. On a single-CPU host
+// the engine's auto mode runs every shard window inline on the coordinator,
+// so these tests force worker threads (EngineOptions::Threading::
+// kForceThreads) to drive the epoch publish / claim / done handshake — and
+// pin the contract that threading is invisible: the same workload must
+// produce bit-identical observable state in inline and threaded modes, with
+// tiny outboxes (spill + regrow) and a zero spin budget (park/unpark on
+// every round) as stress variants. The TSan CI job runs this suite to vet
+// the barrier's memory ordering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace saisim {
+namespace {
+
+struct PingPongResult {
+  std::vector<Time> arrived;  // per-packet delivery time on shard 1
+  Time finished = Time::zero();
+  u64 rounds = 0;
+  u64 cross_posts = 0;
+  std::vector<u64> shard_rounds;
+};
+
+/// Two nodes on two shards, a stream of packets with irregular spacing and
+/// bounced acks — every delivery crosses shards, so each round carries
+/// outbox traffic in both directions.
+PingPongResult run_ping_pong(sim::EngineOptions options, int kPackets = 96) {
+  const Time lookahead = Time::us(5);
+  sim::Engine engine(/*seed=*/1, /*shards=*/2, lookahead, options);
+  net::Network net(engine, /*switch_latency=*/lookahead);
+  const NodeId a =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0), Time::us(2), 0);
+  const NodeId b =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0), Time::us(2), 1);
+
+  PingPongResult result;
+  result.arrived.assign(static_cast<u64>(kPackets), Time::zero());
+  int acks = 0;  // shard-0 state: the stop predicate may read it
+  net.set_receiver(b, [&engine, &net, &result, a, b](net::Packet p) {
+    result.arrived[p.id] = engine.shard(1).now();
+    net::Packet ack;
+    ack.id = p.id;
+    ack.src = b;
+    ack.dst = a;
+    ack.payload_bytes = 64;
+    net.send(std::move(ack));
+  });
+  net.set_receiver(a, [&acks](net::Packet) { ++acks; });
+
+  sim::Simulation& s0 = engine.shard(0);
+  for (int i = 0; i < kPackets; ++i) {
+    s0.at(Time::us(1) + Time::us(3) * i + Time::ns(211 * (i % 5)),
+          [&net, a, b, i] {
+            net::Packet p;
+            p.id = static_cast<u64>(i);
+            p.src = a;
+            p.dst = b;
+            p.payload_bytes = 1400;
+            net.send(std::move(p));
+          });
+  }
+
+  result.finished =
+      engine.run_while([&acks, kPackets] { return acks < kPackets; },
+                       Time::sec(1));
+  result.rounds = engine.rounds();
+  result.cross_posts = engine.cross_shard_posts();
+  for (int r = 0; r < engine.num_shards(); ++r) {
+    result.shard_rounds.push_back(engine.shard_rounds(r));
+  }
+  return result;
+}
+
+void expect_identical(const PingPongResult& x, const PingPongResult& y) {
+  EXPECT_EQ(x.finished, y.finished);
+  EXPECT_EQ(x.rounds, y.rounds);
+  EXPECT_EQ(x.cross_posts, y.cross_posts);
+  ASSERT_EQ(x.arrived.size(), y.arrived.size());
+  for (u64 i = 0; i < x.arrived.size(); ++i) {
+    EXPECT_EQ(x.arrived[i], y.arrived[i]) << "packet " << i;
+    EXPECT_GT(x.arrived[i], Time::zero()) << "packet " << i << " lost";
+  }
+  EXPECT_EQ(x.shard_rounds, y.shard_rounds);
+}
+
+TEST(EngineBarrier, ForcedThreadsMatchInlineBitExact) {
+  sim::EngineOptions inline_opts;
+  inline_opts.threading = sim::EngineOptions::Threading::kInline;
+  sim::EngineOptions threaded;
+  threaded.threading = sim::EngineOptions::Threading::kForceThreads;
+  expect_identical(run_ping_pong(threaded), run_ping_pong(inline_opts));
+}
+
+TEST(EngineBarrier, ForcedThreadsSpawnWorkersEvenOnOneCpu) {
+  sim::EngineOptions threaded;
+  threaded.threading = sim::EngineOptions::Threading::kForceThreads;
+  sim::Engine engine(/*seed=*/1, /*shards=*/4, Time::us(5), threaded);
+  EXPECT_EQ(engine.num_workers(), 3);
+
+  sim::EngineOptions inline_opts;
+  inline_opts.threading = sim::EngineOptions::Threading::kInline;
+  sim::Engine serial(/*seed=*/1, /*shards=*/4, Time::us(5), inline_opts);
+  EXPECT_EQ(serial.num_workers(), 0);
+}
+
+TEST(EngineBarrier, TinyOutboxSpillPathMatches) {
+  // Capacity 2 forces the spill vector and the quiescent-point regrow on
+  // nearly every round; results must not move.
+  sim::EngineOptions tiny;
+  tiny.threading = sim::EngineOptions::Threading::kForceThreads;
+  tiny.outbox_capacity = 2;
+  sim::EngineOptions inline_opts;
+  inline_opts.threading = sim::EngineOptions::Threading::kInline;
+  expect_identical(run_ping_pong(tiny), run_ping_pong(inline_opts));
+}
+
+TEST(EngineBarrier, ZeroSpinBudgetParksEveryRound) {
+  // spin_iterations = 0 sends workers straight to the condvar: every round
+  // exercises publish-vs-park and done-vs-coordinator-wait handshakes.
+  sim::EngineOptions parky;
+  parky.threading = sim::EngineOptions::Threading::kForceThreads;
+  parky.spin_iterations = 0;
+  sim::EngineOptions inline_opts;
+  inline_opts.threading = sim::EngineOptions::Threading::kInline;
+  expect_identical(run_ping_pong(parky), run_ping_pong(inline_opts));
+}
+
+TEST(EngineBarrier, ShardRoundCountersTrackExecutedWindows) {
+  sim::EngineOptions inline_opts;
+  inline_opts.threading = sim::EngineOptions::Threading::kInline;
+  const PingPongResult r = run_ping_pong(inline_opts);
+  ASSERT_EQ(r.shard_rounds.size(), 2u);
+  // Both shards executed windows, and neither ran more windows than there
+  // were rounds (inactive shards skip).
+  EXPECT_GT(r.shard_rounds[0], 0u);
+  EXPECT_GT(r.shard_rounds[1], 0u);
+  EXPECT_LE(r.shard_rounds[0], r.rounds);
+  EXPECT_LE(r.shard_rounds[1], r.rounds);
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_GT(r.cross_posts, 0u);
+}
+
+TEST(EngineBarrier, SyncWaitCountersReadable) {
+  sim::EngineOptions threaded;
+  threaded.threading = sim::EngineOptions::Threading::kForceThreads;
+  const Time lookahead = Time::us(5);
+  sim::Engine engine(/*seed=*/7, /*shards=*/2, lookahead, threaded);
+  // sync_wait_ns is wall-clock and nondeterministic; only its existence and
+  // inline-mode zero are contractual.
+  EXPECT_EQ(engine.shard_sync_wait_ns(0), 0u);
+  EXPECT_EQ(engine.shard_sync_wait_ns(1), 0u);
+}
+
+}  // namespace
+}  // namespace saisim

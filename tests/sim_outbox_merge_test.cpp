@@ -1,0 +1,154 @@
+// Property test for the engine's k-way outbox merge: its output must be
+// byte-identical to the old implementation (concatenate every outbox, then
+// one global stable_sort on (effect, src, seq)) for any input — the merge
+// is a pure perf substitution, so a single divergent element would change
+// cross-shard event order and break shard-count bit-identity.
+#include "sim/outbox_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace saisim::sim {
+namespace {
+
+struct LightPost {
+  Time effect;
+  int src = 0;
+  u64 seq = 0;
+  u64 payload = 0;  // rides along so element identity (not just key) checks
+};
+
+bool old_order(const LightPost& a, const LightPost& b) {
+  if (a.effect != b.effect) return a.effect < b.effect;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+/// The PR 6 merge: one global stable_sort over the concatenation.
+std::vector<LightPost> reference_merge(std::vector<std::vector<LightPost>> boxes) {
+  std::vector<LightPost> all;
+  for (auto& box : boxes) {
+    for (auto& p : box) all.push_back(p);
+  }
+  std::stable_sort(all.begin(), all.end(), old_order);
+  return all;
+}
+
+std::vector<LightPost> kway_merge(std::vector<std::vector<LightPost>> boxes) {
+  std::vector<std::vector<LightPost>*> ptrs;
+  for (auto& box : boxes) {
+    sort_outbox(box);
+    ptrs.push_back(&box);
+  }
+  std::vector<LightPost> out;
+  merge_sorted_outboxes(ptrs.data(), static_cast<int>(ptrs.size()),
+                        [&out](LightPost&& p) { out.push_back(p); });
+  for (const auto& box : boxes) EXPECT_TRUE(box.empty());
+  return out;
+}
+
+void expect_same(const std::vector<LightPost>& a,
+                 const std::vector<LightPost>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (u64 i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].effect, b[i].effect) << "index " << i;
+    EXPECT_EQ(a[i].src, b[i].src) << "index " << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << "index " << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << "index " << i;
+  }
+}
+
+/// Random outboxes mimicking what rounds produce: per-box seq is the append
+/// index; effect times are drawn from a small range so cross-box ties on
+/// effect are frequent (the case the src tie-break exists for).
+std::vector<std::vector<LightPost>> random_boxes(std::mt19937_64& rng,
+                                                 int nboxes, int max_posts,
+                                                 i64 time_range_ns,
+                                                 bool sorted_within_box) {
+  std::uniform_int_distribution<int> count(0, max_posts);
+  std::uniform_int_distribution<i64> when(0, time_range_ns);
+  std::vector<std::vector<LightPost>> boxes(static_cast<u64>(nboxes));
+  u64 payload = 0;
+  for (int r = 0; r < nboxes; ++r) {
+    const int n = count(rng);
+    for (int i = 0; i < n; ++i) {
+      boxes[static_cast<u64>(r)].push_back(LightPost{
+          Time::ns(when(rng)), r, static_cast<u64>(i), payload++});
+    }
+    if (sorted_within_box) {
+      std::stable_sort(boxes[static_cast<u64>(r)].begin(),
+                       boxes[static_cast<u64>(r)].end(),
+                       [](const LightPost& a, const LightPost& b) {
+                         return a.effect < b.effect;
+                       });
+      // Re-stamp seq as append order after the sort, as the engine would
+      // have generated it.
+      u64 seq = 0;
+      for (auto& p : boxes[static_cast<u64>(r)]) p.seq = seq++;
+    }
+  }
+  return boxes;
+}
+
+TEST(OutboxMerge, MatchesStableSortOnRandomizedOutboxes) {
+  std::mt19937_64 rng(0xC0FFEEu);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int nboxes = 1 + static_cast<int>(rng() % 8);
+    auto boxes = random_boxes(rng, nboxes, /*max_posts=*/40,
+                              /*time_range_ns=*/50,
+                              /*sorted_within_box=*/trial % 2 == 0);
+    expect_same(kway_merge(boxes), reference_merge(boxes));
+  }
+}
+
+TEST(OutboxMerge, HeavyTiesResolveBySourceRankThenSeq) {
+  // Every post at the same effect time: order must be (src, seq) exactly.
+  std::vector<std::vector<LightPost>> boxes(3);
+  u64 payload = 0;
+  for (int r = 0; r < 3; ++r) {
+    for (u64 i = 0; i < 5; ++i) {
+      boxes[static_cast<u64>(r)].push_back(
+          LightPost{Time::us(7), r, i, payload++});
+    }
+  }
+  const auto merged = kway_merge(boxes);
+  ASSERT_EQ(merged.size(), 15u);
+  for (u64 i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].src, static_cast<int>(i / 5));
+    EXPECT_EQ(merged[i].seq, i % 5);
+  }
+}
+
+TEST(OutboxMerge, EmptyAndSingleBoxes) {
+  std::vector<std::vector<LightPost>> empty(4);
+  EXPECT_TRUE(kway_merge(empty).empty());
+
+  std::vector<std::vector<LightPost>> one(3);
+  one[1].push_back(LightPost{Time::us(3), 1, 0, 99});
+  const auto merged = kway_merge(one);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].payload, 99u);
+}
+
+TEST(OutboxMerge, SortOutboxKeepsSeqOrderOnEffectTies) {
+  std::vector<LightPost> box{
+      {Time::us(2), 0, 0, 0},
+      {Time::us(1), 0, 1, 1},
+      {Time::us(1), 0, 2, 2},
+      {Time::us(2), 0, 3, 3},
+  };
+  sort_outbox(box);
+  ASSERT_EQ(box.size(), 4u);
+  EXPECT_EQ(box[0].seq, 1u);
+  EXPECT_EQ(box[1].seq, 2u);
+  EXPECT_EQ(box[2].seq, 0u);
+  EXPECT_EQ(box[3].seq, 3u);
+}
+
+}  // namespace
+}  // namespace saisim::sim

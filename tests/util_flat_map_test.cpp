@@ -1,0 +1,94 @@
+// FlatIdMap: the PFS client's pending-request table. The tricky part is
+// backward-shift deletion — erases in the middle of probe chains must keep
+// every other entry findable, with no tombstone decay over millions of
+// issue/complete cycles.
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+namespace saisim::util {
+namespace {
+
+TEST(FlatIdMap, EmplaceFindErase) {
+  FlatIdMap<int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(7), nullptr);
+  map.emplace(7, 70);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 70);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(FlatIdMap, GrowthPreservesAllEntries) {
+  FlatIdMap<u64> map(4);
+  for (u64 k = 1; k <= 1000; ++k) map.emplace(k, k * 10);
+  EXPECT_EQ(map.size(), 1000u);
+  for (u64 k = 1; k <= 1000; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << "key " << k;
+    EXPECT_EQ(*map.find(k), k * 10);
+  }
+}
+
+TEST(FlatIdMap, BackshiftKeepsProbeChainsIntact) {
+  // Interleaved insert/erase: after every erase, every remaining key must
+  // still be reachable (the displaced-tail shift is what this checks).
+  FlatIdMap<u64> map;
+  std::unordered_map<u64, u64> reference;
+  u64 next_key = 1;
+  for (int round = 0; round < 5000; ++round) {
+    const u64 k = next_key++;
+    map.emplace(k, k ^ 0xABCDu);
+    reference.emplace(k, k ^ 0xABCDu);
+    if (round % 3 != 0) {  // erase ~2/3, like completing I/O requests
+      // Erase the oldest live key: maximises chain-middle deletions.
+      const u64 victim = reference.begin()->first;
+      EXPECT_TRUE(map.erase(victim));
+      reference.erase(reference.begin());
+    }
+    if (round % 97 == 0) {
+      for (const auto& [key, value] : reference) {
+        ASSERT_NE(map.find(key), nullptr) << "lost key " << key;
+        EXPECT_EQ(*map.find(key), value);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.find(key), nullptr);
+    EXPECT_EQ(*map.find(key), value);
+  }
+}
+
+TEST(FlatIdMap, CapacityRetainedAcrossChurn) {
+  FlatIdMap<int> map;
+  for (u64 k = 1; k <= 100; ++k) map.emplace(k, 1);
+  for (u64 k = 1; k <= 100; ++k) map.erase(k);
+  const u64 cap = map.capacity();
+  // Steady-state churn at a bounded live count must never reallocate.
+  for (u64 k = 101; k <= 100000; ++k) {
+    map.emplace(k, 1);
+    map.erase(k - 50 > 100 ? k - 50 : k);
+  }
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatIdMap, MoveOnlyValues) {
+  FlatIdMap<std::unique_ptr<int>> map;
+  map.emplace(3, std::make_unique<int>(33));
+  map.emplace(4, std::make_unique<int>(44));
+  ASSERT_NE(map.find(3), nullptr);
+  EXPECT_EQ(**map.find(3), 33);
+  EXPECT_TRUE(map.erase(3));  // vacated slot must release the value
+  ASSERT_NE(map.find(4), nullptr);
+  EXPECT_EQ(**map.find(4), 44);
+}
+
+}  // namespace
+}  // namespace saisim::util
