@@ -134,10 +134,10 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   for (u64 s = 0; s < server_nodes.size(); ++s) {
     servers.push_back(std::make_unique<pfs::IoServer>(
         engine.shard(server_shards[s]), network, server_nodes[s],
-        cfg.server.io));
+        cfg.server.io, cfg.server.cache, cfg.server.sched));
   }
   pfs::MetaServer meta(engine.shard(meta_shard), network, meta_node,
-                       cfg.metadata_service);
+                       cfg.meta);
 
   std::vector<std::unique_ptr<ClientNode>> clients;
   clients.reserve(static_cast<u64>(cfg.num_clients));
@@ -235,12 +235,54 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
           .add(acct.timeslice_rotations);
     }
   }
-  for (auto& server : servers) {
-    const pfs::IoServerStats& st = server->stats();
+  // Deep-server model: aggregate counters are always registered (all zero
+  // at the default thin config — the CSV is not golden-pinned); per-server
+  // rows (for tools/trace_summary's per-server table) only when the depth
+  // is actually enabled, so default CSVs stay small.
+  const bool deep_servers =
+      cfg.server.cache.capacity_bytes > 0 || cfg.server.sched.enabled;
+  for (u64 s = 0; s < servers.size(); ++s) {
+    const pfs::IoServerStats& st = servers[s]->stats();
+    const pfs::BufferCache::Stats& cs = servers[s]->cache().stats();
+    const pfs::ServerCpu::Stats& ss = servers[s]->cpu_stats();
     registry.counter("server.requests").add(st.requests);
     registry.counter("server.bytes_served").add(st.bytes_served);
     registry.counter("server.cache_hits").add(st.cache_hits);
+    registry.counter("server.write_requests").add(st.write_requests);
+    registry.counter("server.bytes_written").add(st.bytes_written);
+    registry.counter("server.cache.block_hits").add(cs.hits);
+    registry.counter("server.cache.block_misses").add(cs.misses);
+    registry.counter("server.cache.evictions").add(cs.evictions);
+    registry.counter("server.cache.dirty_writebacks").add(cs.dirty_writebacks);
+    registry.counter("server.cache.flushed_blocks").add(cs.flushed_blocks);
+    registry.counter("server.cache.readahead_issued").add(cs.readahead_issued);
+    registry.counter("server.cache.readahead_useful").add(cs.readahead_useful);
+    registry.counter("server.flush_bursts").add(st.flush_bursts);
+    registry.counter("server.sched_tasks").add(ss.tasks);
+    if (deep_servers) {
+      const std::string p = "server" + std::to_string(s);
+      registry.counter(p + ".block_hits").add(cs.hits);
+      registry.counter(p + ".block_misses").add(cs.misses);
+      registry.counter(p + ".evictions").add(cs.evictions);
+      registry.counter(p + ".dirty_writebacks").add(cs.dirty_writebacks);
+      registry.counter(p + ".flushed_blocks").add(cs.flushed_blocks);
+      registry.counter(p + ".readahead_issued").add(cs.readahead_issued);
+      registry.counter(p + ".readahead_useful").add(cs.readahead_useful);
+      registry.counter(p + ".tasks").add(ss.tasks);
+      registry.counter(p + ".queue_depth_sum").add(ss.queue_depth_sum);
+      registry.counter(p + ".max_queue_depth").add(ss.max_queue_depth);
+      registry.counter(p + ".queue_wait_ps")
+          .add(static_cast<u64>(ss.queue_wait_ps));
+      registry.counter(p + ".disk_busy_ps")
+          .add(static_cast<u64>(st.disk_busy_ps));
+      registry.counter(p + ".flush_disk_ps")
+          .add(static_cast<u64>(st.flush_disk_ps));
+    }
   }
+  registry.counter("meta.lookups").add(meta.lookups());
+  registry.counter("meta.queue_wait_ps")
+      .add(static_cast<u64>(meta.queue_wait_ps()));
+  registry.counter("meta.max_queue_depth").add(meta.max_queue_depth());
   for (auto& injector : faults) {  // summed in shard-rank order
     const net::FaultStats& fs = injector->stats();
     registry.counter("fault.packets_dropped").add(fs.packets_dropped);

@@ -13,6 +13,7 @@
 #include "net/fault.hpp"
 #include "net/nic.hpp"
 #include "pfs/io_server.hpp"
+#include "pfs/meta_server.hpp"
 #include "sais/sais_client.hpp"
 #include "util/reflect.hpp"
 #include "workload/background_load.hpp"
@@ -37,6 +38,10 @@ struct ClientMachineConfig {
 
 struct ServerMachineConfig {
   pfs::IoServerConfig io{};
+  /// Deep server model: block buffer cache (off at capacity_bytes = 0).
+  pfs::BufferCacheConfig cache{};
+  /// Deep server model: CPU/task scheduler (off by default).
+  pfs::ServerSchedConfig sched{};
   Bandwidth nic_bandwidth = Bandwidth::gbit(1.0);
 };
 
@@ -80,7 +85,8 @@ struct ExperimentConfig {
   bool enable_background = true;
   Time switch_latency = Time::us(5);
   Time link_latency = Time::us(2);
-  Time metadata_service = Time::us(50);
+  /// Metadata server model (meta.service_time, meta.serialize).
+  pfs::MetaServerConfig meta{};
   u64 seed = 42;
   /// Safety net: abort the run if the workload has not drained by then.
   Time max_sim_time = Time::sec(600);
@@ -112,6 +118,8 @@ template <class V>
 void describe(V& v, ServerMachineConfig& c) {
   namespace r = util::reflect;
   v.group("io", c.io);
+  v.group("cache", c.cache);
+  v.group("sched", c.sched);
   v.field("nic_bandwidth", c.nic_bandwidth, r::positive(), "B/s");
 }
 
@@ -130,7 +138,7 @@ void describe(V& v, ExperimentConfig& c) {
   v.field("enable_background", c.enable_background);
   v.field("switch_latency", c.switch_latency, r::non_negative());
   v.field("link_latency", c.link_latency, r::non_negative());
-  v.field("metadata_service", c.metadata_service, r::non_negative());
+  v.group("meta", c.meta);
   v.field("seed", c.seed, r::non_negative());
   v.field("max_sim_time", c.max_sim_time, r::positive());
   v.group("fault", c.fault);

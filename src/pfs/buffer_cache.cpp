@@ -1,0 +1,127 @@
+#include "pfs/buffer_cache.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace saisim::pfs {
+
+namespace {
+
+/// Set index hashed from the block number. A plain `block % num_sets`
+/// is pathological for striped streams: one server sees a stream at a
+/// stride of num_servers * strip blocks, which for power-of-two set counts
+/// lands every strip of the stream in the same few sets and thrashes the
+/// prefetched blocks out before they are used. Hashing keeps the mapping a
+/// deterministic property of the data while spreading strides uniformly.
+u64 set_of(u64 block, u64 num_sets) {
+  u64 h = block;
+  return splitmix64(h) % num_sets;
+}
+
+}  // namespace
+
+BufferCache::BufferCache(const BufferCacheConfig& config) : cfg_(config) {
+  if (cfg_.capacity_bytes == 0) return;
+  ways_ = cfg_.ways;
+  num_sets_ =
+      std::max<u64>(1, cfg_.capacity_bytes /
+                           (cfg_.block_bytes * static_cast<u64>(ways_)));
+  entries_.resize(num_sets_ * static_cast<u64>(ways_));
+}
+
+BufferCache::Entry* BufferCache::find(u64 block) {
+  Entry* set = &entries_[set_of(block, num_sets_) * static_cast<u64>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].block == block) return &set[w];
+  }
+  return nullptr;
+}
+
+const BufferCache::Entry* BufferCache::find(u64 block) const {
+  return const_cast<BufferCache*>(this)->find(block);
+}
+
+bool BufferCache::lookup(u64 block) {
+  SAISIM_CHECK(enabled());
+  Entry* e = find(block);
+  if (e == nullptr) {
+    ++stats_.misses;
+    return false;
+  }
+  e->stamp = ++tick_;
+  if (e->prefetched) {
+    e->prefetched = false;
+    ++stats_.readahead_useful;
+  }
+  ++stats_.hits;
+  return true;
+}
+
+bool BufferCache::contains(u64 block) const {
+  return enabled() && find(block) != nullptr;
+}
+
+u64 BufferCache::insert(u64 block, bool dirty, bool prefetched) {
+  SAISIM_CHECK(enabled());
+  if (Entry* e = find(block)) {
+    e->stamp = ++tick_;
+    if (dirty && !e->dirty) {
+      e->dirty = true;
+      ++dirty_;
+    }
+    if (!prefetched) e->prefetched = false;
+    return 0;
+  }
+  Entry* set = &entries_[set_of(block, num_sets_) * static_cast<u64>(ways_)];
+  Entry* victim = &set[0];
+  for (int w = 0; w < ways_; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].stamp < victim->stamp) victim = &set[w];
+  }
+  u64 forced = 0;
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) {
+      ++stats_.dirty_writebacks;
+      --dirty_;
+      forced = 1;
+    }
+  }
+  victim->block = block;
+  victim->stamp = ++tick_;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetched = prefetched;
+  if (dirty) ++dirty_;
+  return forced;
+}
+
+u64 BufferCache::take_dirty(u64 max) {
+  SAISIM_CHECK(enabled());
+  if (max == 0 || dirty_ == 0) return 0;
+  // Oldest-first over the whole cache: collect (stamp, index), take the
+  // smallest stamps. Deterministic — stamps are unique.
+  std::vector<std::pair<u64, u64>> dirty;
+  dirty.reserve(dirty_);
+  for (u64 i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].dirty) {
+      dirty.emplace_back(entries_[i].stamp, i);
+    }
+  }
+  const u64 n = std::min<u64>(max, dirty.size());
+  std::partial_sort(dirty.begin(), dirty.begin() + static_cast<i64>(n),
+                    dirty.end());
+  for (u64 k = 0; k < n; ++k) {
+    entries_[dirty[k].second].dirty = false;
+  }
+  dirty_ -= n;
+  stats_.flushed_blocks += n;
+  return n;
+}
+
+}  // namespace saisim::pfs

@@ -1,0 +1,18 @@
+// Wire-level constants of the PVFS-like protocol, shared by the servers
+// that emit the messages and the clients/tests that expect their sizes.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace saisim::pfs {
+
+/// Size of the write-acknowledgement message an I/O server returns for a
+/// committed strip (header + status word). The client's RTO math and the
+/// write-path tests assume this exact size.
+inline constexpr u64 kWriteAckBytes = 64;
+
+/// Size of the metadata server's layout-descriptor reply (stripe map,
+/// server list, handle).
+inline constexpr u64 kMetaReplyBytes = 512;
+
+}  // namespace saisim::pfs

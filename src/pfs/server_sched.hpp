@@ -1,0 +1,142 @@
+// The I/O server's CPU/task scheduler: one modeled server core with a run
+// queue. Server-side work — request parse (including the server's own NIC
+// interrupt handling), cache resolution, reply build, flush bursts — is
+// submitted as discrete tasks; the discipline decides what runs next when
+// the core frees up. FIFO is strict arrival order; priority runs foreground
+// (request/reply) work ahead of background flushes, so a flush storm delays
+// acks under FIFO but only steals idle cycles under priority.
+//
+// Disabled (the default) the IoServer never submits tasks and charges its
+// fixed request_service inline — the pre-refactor timing, bit for bit.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "sim/simulation.hpp"
+#include "util/reflect.hpp"
+
+namespace saisim::pfs {
+
+enum class SchedDiscipline : u8 {
+  kFifo = 0,
+  kPriority,
+};
+inline constexpr const char* kSchedDisciplineNames[] = {"fifo", "priority"};
+inline constexpr i64 kNumSchedDisciplines = 2;
+
+struct ServerSchedConfig {
+  /// Model server CPU contention. Off by default: request_service is
+  /// charged inline with no queueing, preserving the legacy timing.
+  bool enabled = false;
+  SchedDiscipline discipline = SchedDiscipline::kFifo;
+  /// Cost of fielding one inbound packet (the server's NIC interrupt plus
+  /// request parse), charged before the request reaches the cache.
+  Time irq_cost = Time::us(3);
+  /// Cost of building one reply/ack message once its data is ready.
+  Time reply_cost = Time::us(5);
+  /// CPU side of one background flush burst (issue + completion handling).
+  Time flush_cpu_cost = Time::us(10);
+};
+
+template <class V>
+void describe(V& v, ServerSchedConfig& c) {
+  namespace r = util::reflect;
+  v.field("enabled", c.enabled);
+  v.field("discipline", c.discipline,
+          r::EnumNames{kSchedDisciplineNames, kNumSchedDisciplines});
+  v.field("irq_cost", c.irq_cost, r::non_negative());
+  v.field("reply_cost", c.reply_cost, r::non_negative());
+  v.field("flush_cpu_cost", c.flush_cpu_cost, r::non_negative());
+}
+
+class ServerCpu {
+ public:
+  enum class Prio : u8 {
+    kForeground = 0,  // request parse, cache resolution, reply build
+    kBackground,      // flush daemon work
+  };
+
+  struct Stats {
+    u64 tasks = 0;
+    /// Run-queue depth (queued + running) observed at each submit; divide
+    /// by `tasks` for the mean depth the per-server table reports.
+    u64 queue_depth_sum = 0;
+    u64 max_queue_depth = 0;
+    i64 queue_wait_ps = 0;  // total time tasks sat queued before running
+    i64 busy_ps = 0;        // total CPU time executed
+  };
+
+  ServerCpu(sim::Simulation& simulation, SchedDiscipline discipline)
+      : sim_(simulation), discipline_(discipline) {}
+
+  const Stats& stats() const { return stats_; }
+
+  /// Enqueue `cost` of CPU work; `done(at)` fires inside the completion
+  /// event (sim().now() == at).
+  void submit(Prio prio, Time cost, std::function<void(Time)> done) {
+    ++stats_.tasks;
+    const u64 depth = queued() + (running_ ? 1 : 0);
+    stats_.queue_depth_sum += depth;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+    Task t{cost, std::move(done), sim_.now(), seq_++};
+    if (!running_) {
+      running_ = true;
+      start(std::move(t));
+    } else {
+      queue_[static_cast<u64>(prio)].push_back(std::move(t));
+    }
+  }
+
+ private:
+  struct Task {
+    Time cost;
+    std::function<void(Time)> done;
+    Time submitted;
+    u64 seq = 0;
+  };
+
+  u64 queued() const { return queue_[0].size() + queue_[1].size(); }
+
+  void start(Task t) {
+    stats_.queue_wait_ps += (sim_.now() - t.submitted).picoseconds();
+    stats_.busy_ps += t.cost.picoseconds();
+    sim_.after(t.cost, [this, done = std::move(t.done)] {
+      const Time at = sim_.now();
+      if (done) done(at);
+      dispatch_next();
+    });
+  }
+
+  void dispatch_next() {
+    std::deque<Task>& fg = queue_[0];
+    std::deque<Task>& bg = queue_[1];
+    std::deque<Task>* next = nullptr;
+    if (discipline_ == SchedDiscipline::kPriority) {
+      next = !fg.empty() ? &fg : (!bg.empty() ? &bg : nullptr);
+    } else {  // FIFO across both priorities, by submission sequence
+      if (!fg.empty() && !bg.empty()) {
+        next = fg.front().seq < bg.front().seq ? &fg : &bg;
+      } else {
+        next = !fg.empty() ? &fg : (!bg.empty() ? &bg : nullptr);
+      }
+    }
+    if (next == nullptr) {
+      running_ = false;
+      return;
+    }
+    Task t = std::move(next->front());
+    next->pop_front();
+    start(std::move(t));
+  }
+
+  sim::Simulation& sim_;
+  SchedDiscipline discipline_;
+  std::deque<Task> queue_[2];
+  bool running_ = false;
+  u64 seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace saisim::pfs

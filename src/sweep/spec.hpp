@@ -54,6 +54,8 @@ template <typename T>
 std::string render_axis_value(const T& v) {
   if constexpr (std::is_same_v<T, bool>) {
     return v ? "true" : "false";
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return v;  // enum-name axes feed set_field's name channel directly
   } else if constexpr (std::is_floating_point_v<T>) {
     return util::reflect::render_f64(v);
   } else {

@@ -28,6 +28,11 @@
 //   net.fault.drop      src node    -             packet kind     dst node     -
 //   net.fault.dup       src node    -             packet kind     dst node     dup delay ps
 //   net.fault.delay     src node    -             packet kind     dst node     delay ps
+//   server.task.run     server      -             strip index     queue wait ps -
+//   server.cache        server      -             missing blocks  total blocks -
+//   server.disk         server      -             bytes read      forced wbs   -
+//   server.flush        server      -             blocks flushed  burst ps     -
+//   meta.lookup         meta        -             queue depth     queue wait ps -
 #pragma once
 
 #include "util/subsystem.hpp"
@@ -57,8 +62,13 @@ enum class EventType : u8 {
   kNetFaultDrop,
   kNetFaultDup,
   kNetFaultDelay,
+  kServerTaskRun,
+  kServerCacheDone,
+  kServerDiskDone,
+  kServerFlush,
+  kMetaLookup,
 };
-inline constexpr int kNumEventTypes = 20;
+inline constexpr int kNumEventTypes = 25;
 
 inline constexpr const char* kEventNames[kNumEventTypes] = {
     "nic.rx",
@@ -81,6 +91,11 @@ inline constexpr const char* kEventNames[kNumEventTypes] = {
     "net.fault.drop",
     "net.fault.dup",
     "net.fault.delay",
+    "server.task.run",
+    "server.cache",
+    "server.disk",
+    "server.flush",
+    "meta.lookup",
 };
 
 inline constexpr const char* event_name(EventType t) {
@@ -96,6 +111,7 @@ inline constexpr util::Subsystem event_subsystem(EventType t) {
       S::kMem,      S::kMem,      S::kMem,      S::kPfs,      S::kPfs,
       S::kPfs,      S::kPfs,      S::kPfs,      S::kWorkload, S::kWorkload,
       S::kWorkload, S::kWorkload, S::kNet,      S::kNet,      S::kNet,
+      S::kPfs,      S::kPfs,      S::kPfs,      S::kPfs,      S::kPfs,
   };
   return map[static_cast<u8>(t)];
 }

@@ -130,6 +130,23 @@ std::string to_chrome_json(const std::vector<RunTrace>& runs) {
         out += "}},\n";
         cursor += dur;
       }
+      // Deep-server sub-phases nest inside the server slice; emitted only
+      // when the layered server recorded its milestones, so default-config
+      // traces stay byte-identical.
+      if (s.has_server_sub) {
+        i64 sub_cursor = s.server_sub_start.picoseconds();
+        for (int p = 0; p < kNumServerSubPhases; ++p) {
+          const i64 dur = s.server_sub[p].picoseconds();
+          append_common(out, kServerSubPhaseNames[p], "span", span_pid,
+                        s.request, sub_cursor);
+          out += ",\"ph\":\"X\",\"dur\":";
+          out += format_us(dur);
+          out += ",\"args\":{\"request\":";
+          out += std::to_string(s.request);
+          out += "}},\n";
+          sub_cursor += dur;
+        }
+      }
     }
   }
 

@@ -15,6 +15,10 @@ struct Milestones {
   i64 migration_ps = 0;
   i64 bytes = 0;
   i64 strips = 0;
+  // Deep-server sub-milestones (server.recv / task.run / cache / disk),
+  // each the max across the request's strips.
+  Time tr, ta, tb, tc;
+  bool has_r = false, has_a = false, has_b = false, has_c = false;
 };
 
 }  // namespace
@@ -37,6 +41,22 @@ std::vector<RequestSpan> build_spans(const std::vector<Event>& events) {
       case EventType::kServerSend:
         m.t1 = m.has1 ? std::max(m.t1, e.when) : e.when;
         m.has1 = true;
+        break;
+      case EventType::kServerRecv:
+        m.tr = m.has_r ? std::max(m.tr, e.when) : e.when;
+        m.has_r = true;
+        break;
+      case EventType::kServerTaskRun:
+        m.ta = m.has_a ? std::max(m.ta, e.when) : e.when;
+        m.has_a = true;
+        break;
+      case EventType::kServerCacheDone:
+        m.tb = m.has_b ? std::max(m.tb, e.when) : e.when;
+        m.has_b = true;
+        break;
+      case EventType::kServerDiskDone:
+        m.tc = m.has_c ? std::max(m.tc, e.when) : e.when;
+        m.has_c = true;
         break;
       case EventType::kNicRx:
         m.t2 = m.has2 ? std::max(m.t2, e.when) : e.when;
@@ -89,6 +109,20 @@ std::vector<RequestSpan> build_spans(const std::vector<Event>& events) {
         std::clamp(Time::ps(m.migration_ps), Time::zero(), consume_window);
     s.phase[static_cast<u8>(Phase::kMigration)] = migration;
     s.phase[static_cast<u8>(Phase::kConsume)] = consume_window - migration;
+    // Deep-server sub-phases: present only when the layered server emitted
+    // its pipeline milestones. Same max + clamp treatment, nested into the
+    // server window [t0, t1].
+    if (m.has_a || m.has_b || m.has_c) {
+      const Time sr = std::clamp(m.has_r ? m.tr : m.t0, m.t0, t1);
+      const Time sa = std::clamp(m.has_a ? m.ta : sr, sr, t1);
+      const Time sb = std::clamp(m.has_b ? m.tb : sa, sa, t1);
+      const Time sc = std::clamp(m.has_c ? m.tc : sb, sb, t1);
+      s.has_server_sub = true;
+      s.server_sub_start = sr;
+      s.server_sub[static_cast<u8>(ServerSubPhase::kCpuQueue)] = sa - sr;
+      s.server_sub[static_cast<u8>(ServerSubPhase::kCache)] = sb - sa;
+      s.server_sub[static_cast<u8>(ServerSubPhase::kDisk)] = sc - sb;
+    }
     out.push_back(s);
   }
   return out;

@@ -47,6 +47,22 @@ inline constexpr const char* kPhaseNames[kNumPhases] = {
     "server", "wire", "irq-queue", "softirq", "migration", "consume",
 };
 
+/// Sub-phases of the server phase, present only when the deep server model
+/// (server.cache.* / server.sched.*) emitted its pipeline milestones:
+/// cpu-queue = recv → CPU task retired (queue wait + parse), cache = the
+/// cache-index resolution, disk = the demand fill. The remainder up to
+/// server.send is reply build + NIC serialization.
+enum class ServerSubPhase : u8 {
+  kCpuQueue = 0,
+  kCache,
+  kDisk,
+};
+inline constexpr int kNumServerSubPhases = 3;
+
+inline constexpr const char* kServerSubPhaseNames[kNumServerSubPhases] = {
+    "server/cpu-queue", "server/cache", "server/disk",
+};
+
 struct RequestSpan {
   RequestId request = -1;
   Time issue;  // t0
@@ -54,6 +70,12 @@ struct RequestSpan {
   Time phase[kNumPhases] = {};
   i64 bytes = 0;
   i64 strips = 0;
+  /// Server-phase breakdown (deep server model only; see has_server_sub).
+  /// Like the six phases, each sub-milestone is the max over the request's
+  /// strips, clamped into the server window.
+  bool has_server_sub = false;
+  Time server_sub_start;  // max server.recv, clamped into [t0, t1]
+  Time server_sub[kNumServerSubPhases] = {};
 
   Time total() const { return end - issue; }
 };

@@ -26,13 +26,16 @@ TEST(ConfigDrift, DescribedLeafCounts) {
   EXPECT_EQ(count_fields<net::NicConfig>(), 8u);
   EXPECT_EQ(count_fields<net::FaultConfig>(), 9u);
   EXPECT_EQ(count_fields<pfs::IoServerConfig>(), 4u);
+  EXPECT_EQ(count_fields<pfs::BufferCacheConfig>(), 9u);
+  EXPECT_EQ(count_fields<pfs::ServerSchedConfig>(), 5u);
+  EXPECT_EQ(count_fields<pfs::MetaServerConfig>(), 2u);
   EXPECT_EQ(count_fields<pfs::PfsClientConfig>(), 4u);
   EXPECT_EQ(count_fields<workload::IorConfig>(), 13u);
   EXPECT_EQ(count_fields<workload::BackgroundConfig>(), 3u);
   EXPECT_EQ(count_fields<ClientMachineConfig>(), 24u);
-  EXPECT_EQ(count_fields<ServerMachineConfig>(), 5u);
+  EXPECT_EQ(count_fields<ServerMachineConfig>(), 19u);
   EXPECT_EQ(count_fields<SimKernelConfig>(), 2u);
-  EXPECT_EQ(count_fields<ExperimentConfig>(), 67u);
+  EXPECT_EQ(count_fields<ExperimentConfig>(), 82u);
   EXPECT_EQ(count_fields<memsim::MemsimConfig>(), 23u);
   EXPECT_EQ(count_fields<realmem::RealMemConfig>(), 8u);
 }
@@ -47,7 +50,10 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
                 2u /* nic_bandwidth, user_quantum */ +
                 count_fields<pfs::PfsClientConfig>());
   EXPECT_EQ(count_fields<ServerMachineConfig>(),
-            count_fields<pfs::IoServerConfig>() + 1u /* nic_bandwidth */);
+            count_fields<pfs::IoServerConfig>() +
+                count_fields<pfs::BufferCacheConfig>() +
+                count_fields<pfs::ServerSchedConfig>() +
+                1u /* nic_bandwidth */);
   EXPECT_EQ(count_fields<ExperimentConfig>(),
             2u /* num_clients, num_servers */ + 1u /* strip_size */ +
                 count_fields<ClientMachineConfig>() +
@@ -55,7 +61,8 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
                 count_fields<workload::IorConfig>() +
                 1u /* procs_per_client */ + 1u /* policy */ +
                 count_fields<workload::BackgroundConfig>() +
-                1u /* enable_background */ + 3u /* latencies */ +
+                1u /* enable_background */ + 2u /* latencies */ +
+                count_fields<pfs::MetaServerConfig>() +
                 2u /* seed, max_sim_time */ +
                 count_fields<net::FaultConfig>() +
                 count_fields<SimKernelConfig>());
@@ -70,13 +77,16 @@ TEST(ConfigDrift, StructSizesMatchDescribedLayout) {
   EXPECT_EQ(sizeof(net::NicConfig), 56u);
   EXPECT_EQ(sizeof(net::FaultConfig), 72u);
   EXPECT_EQ(sizeof(pfs::IoServerConfig), 32u);
+  EXPECT_EQ(sizeof(pfs::BufferCacheConfig), 56u);
+  EXPECT_EQ(sizeof(pfs::ServerSchedConfig), 32u);
+  EXPECT_EQ(sizeof(pfs::MetaServerConfig), 16u);
   EXPECT_EQ(sizeof(pfs::PfsClientConfig), 32u);
   EXPECT_EQ(sizeof(workload::IorConfig), 96u);
   EXPECT_EQ(sizeof(workload::BackgroundConfig), 24u);
   EXPECT_EQ(sizeof(ClientMachineConfig), 184u);
-  EXPECT_EQ(sizeof(ServerMachineConfig), 40u);
+  EXPECT_EQ(sizeof(ServerMachineConfig), 128u);
   EXPECT_EQ(sizeof(SimKernelConfig), 16u);
-  EXPECT_EQ(sizeof(ExperimentConfig), 504u);
+  EXPECT_EQ(sizeof(ExperimentConfig), 600u);
   EXPECT_EQ(sizeof(memsim::MemsimConfig), 168u);
   EXPECT_EQ(sizeof(realmem::RealMemConfig), 48u);
 }

@@ -10,6 +10,7 @@
 #include "pfs/io_server.hpp"
 #include "pfs/meta_server.hpp"
 #include "pfs/pfs_client.hpp"
+#include "pfs/protocol.hpp"
 
 namespace saisim::pfs {
 namespace {
@@ -186,7 +187,7 @@ TEST_F(FaultFixture, DuplicateMetaReplyIsCountedNotFatal) {
   stale.request = 1;
   stale.src = meta_node;
   stale.dst = nic->node();
-  stale.payload_bytes = 64;
+  stale.payload_bytes = kWriteAckBytes;
   const u64 dups_before = client->stats().duplicate_strips;
   net.send(stale);
   s.run();  // used to SAISIM_CHECK-abort in on_rx

@@ -1,0 +1,159 @@
+// I/O-server model tests against a directly-driven server: the single
+// serialized spindle, per-request seek charging, failure-injection slowdown
+// composition, and the legacy content-addressed cache_hit_ratio model that
+// the deep server.cache.* path subsumes but must not perturb.
+#include <gtest/gtest.h>
+
+#include "pfs/io_server.hpp"
+#include "pfs/protocol.hpp"
+
+namespace saisim::pfs {
+namespace {
+
+constexpr u64 kStrip = 64ull << 10;
+
+/// One server, one client node, raw packets in, arrivals (with receive
+/// timestamps) out. No PFS client in the loop, so reply timing is a pure
+/// function of the server model plus a fixed network path.
+struct Harness {
+  sim::Simulation s;
+  net::Network net{s, Time::us(5)};
+  NodeId server_node = net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  NodeId client_node = net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  IoServer server;
+
+  struct Arrival {
+    net::Packet packet;
+    Time at;
+  };
+  std::vector<Arrival> arrivals;
+  u64 next_id = 1;
+
+  explicit Harness(IoServerConfig io = {}, BufferCacheConfig cache = {},
+                   ServerSchedConfig sched = {})
+      : server(s, net, server_node, io, cache, sched) {
+    net.set_receiver(client_node, [this](net::Packet p) {
+      arrivals.push_back({std::move(p), s.now()});
+    });
+  }
+
+  void send_read(RequestId req, u64 offset, u64 span, Time at) {
+    s.at(at, [this, req, offset, span] {
+      net::Packet p;
+      p.id = next_id++;
+      p.kind = net::PacketKind::kPfsRequest;
+      p.src = client_node;
+      p.dst = server_node;
+      p.request = req;
+      p.owner_process = 1;
+      p.payload_bytes = 256;
+      p.file_offset = offset;
+      p.span_bytes = span;
+      net.send(std::move(p));
+    });
+  }
+};
+
+TEST(IoServerModel, DiskSerializesConcurrentRequests) {
+  IoServerConfig io;
+  Harness h(io);
+  h.send_read(1, 0, kStrip, Time::zero());
+  h.send_read(2, kStrip, kStrip, Time::zero());
+  h.s.run();
+  ASSERT_EQ(h.arrivals.size(), 2u);
+  // The second fill queues behind the first on the single spindle: replies
+  // leave (and, being equal-sized, arrive) at least one full disk access
+  // apart, even though both requests hit the server back to back.
+  const Time io_time = io.disk_seek + io.disk_bandwidth.transfer_time(kStrip);
+  EXPECT_GE(h.arrivals[1].at - h.arrivals[0].at, io_time);
+}
+
+TEST(IoServerModel, SeekIsChargedPerRequest) {
+  IoServerConfig fast;
+  fast.disk_seek = Time::ms(1);
+  IoServerConfig slow;
+  slow.disk_seek = Time::ms(3);
+  Harness hf(fast), hs(slow);
+  hf.send_read(1, 0, kStrip, Time::zero());
+  hs.send_read(1, 0, kStrip, Time::zero());
+  hf.s.run();
+  hs.s.run();
+  ASSERT_EQ(hf.arrivals.size(), 1u);
+  ASSERT_EQ(hs.arrivals.size(), 1u);
+  // Identical network path, identical transfer: the reply shifts by
+  // exactly the seek delta.
+  EXPECT_EQ(hs.arrivals[0].at - hf.arrivals[0].at, Time::ms(2));
+}
+
+TEST(IoServerModel, SlowdownComposesWithServiceTime) {
+  Harness base, degraded;
+  degraded.server.set_slowdown(Time::us(500));
+  base.send_read(1, 0, kStrip, Time::zero());
+  degraded.send_read(1, 0, kStrip, Time::zero());
+  base.s.run();
+  degraded.s.run();
+  ASSERT_EQ(base.arrivals.size(), 1u);
+  ASSERT_EQ(degraded.arrivals.size(), 1u);
+  EXPECT_EQ(degraded.arrivals[0].at - base.arrivals[0].at, Time::us(500));
+}
+
+TEST(IoServerModel, LegacyCacheHitSkipsExactlyOneDiskAccess) {
+  IoServerConfig hit;
+  hit.cache_hit_ratio = 1.0;
+  IoServerConfig miss;
+  miss.cache_hit_ratio = 0.0;
+  Harness hh(hit), hm(miss);
+  hh.send_read(1, 0, kStrip, Time::zero());
+  hm.send_read(1, 0, kStrip, Time::zero());
+  hh.s.run();
+  hm.s.run();
+  ASSERT_EQ(hh.arrivals.size(), 1u);
+  ASSERT_EQ(hm.arrivals.size(), 1u);
+  EXPECT_EQ(hh.server.stats().cache_hits, 1u);
+  EXPECT_EQ(hm.server.stats().cache_hits, 0u);
+  const Time io_time =
+      hit.disk_seek + hit.disk_bandwidth.transfer_time(kStrip);
+  EXPECT_EQ(hm.arrivals[0].at - hh.arrivals[0].at, io_time);
+}
+
+TEST(IoServerModel, LegacyCacheHitsAreContentAddressed) {
+  // The coin flip is hashed from the file offset, so *which* strips hit is
+  // a property of the data: the same offsets must hit identically whether
+  // they are requested front-to-back or back-to-front.
+  IoServerConfig io;
+  io.cache_hit_ratio = 0.5;
+  Harness fwd(io), rev(io);
+  constexpr int kN = 64;
+  for (int i = 0; i < kN; ++i) {
+    fwd.send_read(i, static_cast<u64>(i) * kStrip, 4096, Time::ms(5 * i));
+    rev.send_read(i, static_cast<u64>(kN - 1 - i) * kStrip, 4096,
+                  Time::ms(5 * i));
+  }
+  fwd.s.run();
+  rev.s.run();
+  const u64 hits = fwd.server.stats().cache_hits;
+  EXPECT_EQ(rev.server.stats().cache_hits, hits);
+  // ratio 0.5 over 64 distinct offsets: some hit, some miss.
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, static_cast<u64>(kN));
+}
+
+TEST(IoServerModel, LegacyTimelineIsDeterministic) {
+  IoServerConfig io;
+  io.cache_hit_ratio = 0.3;
+  Harness a(io), b(io);
+  for (int i = 0; i < 16; ++i) {
+    a.send_read(i, static_cast<u64>(i) * kStrip, kStrip, Time::us(50 * i));
+    b.send_read(i, static_cast<u64>(i) * kStrip, kStrip, Time::us(50 * i));
+  }
+  a.s.run();
+  b.s.run();
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (u64 i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].at, b.arrivals[i].at) << "reply " << i;
+    EXPECT_EQ(a.arrivals[i].packet.request, b.arrivals[i].packet.request);
+  }
+}
+
+}  // namespace
+}  // namespace saisim::pfs

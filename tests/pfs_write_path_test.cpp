@@ -6,6 +6,7 @@
 #include "pfs/io_server.hpp"
 #include "pfs/meta_server.hpp"
 #include "pfs/pfs_client.hpp"
+#include "pfs/protocol.hpp"
 #include "sais/sais_client.hpp"
 #include "workload/ior_process.hpp"
 
@@ -105,7 +106,7 @@ TEST_F(WriteFixture, DuplicateAcksAreCounted) {
   // Simulate via the public rx path: send from a server node.
   stale.src = server_nodes[0];
   stale.dst = nic->node();
-  stale.payload_bytes = 64;
+  stale.payload_bytes = kWriteAckBytes;
   stale.dma_addr = 0;
   net.send(stale);
   s.run();
