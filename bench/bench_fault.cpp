@@ -18,10 +18,18 @@ namespace {
 // Smaller than the figure grids: lossy runs retransmit (more packets per
 // byte), and the RTO floor must stay well under max_sim_time.
 ExperimentConfig fault_config() {
-  ExperimentConfig cfg = bench::figure_config(3.0, 8, 512ull << 10, 4ull << 20);
-  cfg.client.pfs.retransmit_timeout = Time::ms(50);
-  sweep::resolve_config(bench::cli(), cfg);
-  return cfg;
+  // Tweaked before CLI resolution so --set can override any one of these.
+  return bench::figure_config(
+      3.0, 8, 512ull << 10, 4ull << 20, [](ExperimentConfig& cfg) {
+        cfg.client.pfs.retransmit_timeout = Time::ms(50);
+        // SLO watchdog: sample every 500 µs and flag the first moment any
+        // client's windowed p99 read latency crosses 20 ms — the
+        // time-to-first-breach column makes fault severity comparable
+        // across policies in one number. (A healthy 512K run sits near
+        // 16 ms p99, so the threshold only trips under injected faults.)
+        cfg.telemetry.sample_period = Time::us(500);
+        cfg.telemetry.slo.p99_read_latency_us = 20'000;
+      });
 }
 
 const std::vector<PolicyKind>& fault_policies() {
@@ -87,7 +95,7 @@ const sweep::SweepResult& duplicate_sweep() {
 
 void print_fault_table(const sweep::SweepResult& res) {
   stats::Table t({"point", "policy", "bw_MB/s", "p99_read_us", "retransmits",
-                  "dup_strips", "failed", "rx_drops"});
+                  "dup_strips", "failed", "rx_drops", "first_breach_us"});
   for (u64 i = 0; i < res.size(); ++i) {
     const RunMetrics& m = res.metrics[i];
     t.add_row({res.points[i].labels[0], res.points[i].labels[1],
@@ -95,7 +103,8 @@ void print_fault_table(const sweep::SweepResult& res) {
                i64{static_cast<i64>(m.retransmits)},
                i64{static_cast<i64>(m.duplicate_strips)},
                i64{static_cast<i64>(m.failed_requests)},
-               i64{static_cast<i64>(m.rx_drops)}});
+               i64{static_cast<i64>(m.rx_drops)},
+               i64{static_cast<i64>(m.first_slo_breach_us)}});
   }
   bench::print_table(t);
 }

@@ -20,10 +20,17 @@ using namespace saisim;
 namespace {
 
 ExperimentConfig depth_config() {
-  ExperimentConfig cfg =
-      bench::figure_config(3.0, 8, 128ull << 10, 4ull << 20);
-  sweep::resolve_config(bench::cli(), cfg);
-  return cfg;
+  // Tweaked before CLI resolution so --set can override any one of these.
+  return bench::figure_config(
+      3.0, 8, 128ull << 10, 4ull << 20, [](ExperimentConfig& cfg) {
+        // SLO watchdog: flag the first moment a server's CPU run-queue
+        // piles past 32 tasks or a client's windowed p99 read crosses
+        // 10 ms — the scheduler convoy shows up as time-to-first-breach
+        // long before it dents aggregate bandwidth.
+        cfg.telemetry.sample_period = Time::us(500);
+        cfg.telemetry.slo.max_queue_depth = 32;
+        cfg.telemetry.slo.p99_read_latency_us = 10'000;
+      });
 }
 
 const std::vector<PolicyKind>& depth_policies() {
@@ -120,7 +127,7 @@ const sweep::SweepResult& sched_sweep() {
 
 void print_depth_table(const sweep::SweepResult& res) {
   stats::Table t({"point", "policy", "bw_MB/s", "mean_read_us", "p99_read_us",
-                  "elapsed_ms"});
+                  "elapsed_ms", "first_breach_us"});
   for (u64 i = 0; i < res.size(); ++i) {
     const RunMetrics& m = res.metrics[i];
     std::string point = res.points[i].labels[0];
@@ -130,7 +137,8 @@ void print_depth_table(const sweep::SweepResult& res) {
     t.add_row({point, res.points[i].labels.back(), m.bandwidth_mbps,
                m.mean_read_latency_us,
                i64{static_cast<i64>(m.p99_read_latency_us)},
-               m.elapsed.seconds() * 1e3});
+               m.elapsed.seconds() * 1e3,
+               i64{static_cast<i64>(m.first_slo_breach_us)}});
   }
   bench::print_table(t);
 }

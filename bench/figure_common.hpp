@@ -72,6 +72,26 @@ inline ExperimentConfig figure_config(double gbit, int servers, u64 transfer,
   return cfg;
 }
 
+/// figure_config with a pre-resolution tweak. Bench-specific defaults that
+/// the shared CLI should still override (bench_fault's retransmit floor,
+/// the telemetry SLOs of the fault/depth ablations) must land *before*
+/// --config/--set: resolution validates the whole config, so overriding
+/// one field of a cross-field invariant against the untweaked base would
+/// exit 2 (e.g. --set telemetry.slo.* with the sampler not yet armed).
+template <class Tweak>
+ExperimentConfig figure_config(double gbit, int servers, u64 transfer,
+                               u64 bytes_per_proc, Tweak&& tweak) {
+  ExperimentConfig cfg;
+  cfg.num_servers = servers;
+  cfg.client.nic_bandwidth = Bandwidth::gbit(gbit);
+  cfg.client.nic.queues = gbit > 1.5 ? 3 : 1;
+  cfg.ior.transfer_size = transfer;
+  cfg.ior.total_bytes = bytes_per_proc;
+  tweak(cfg);
+  sweep::resolve_config(cli(), cfg);
+  return cfg;
+}
+
 /// Process-wide runner. Its fingerprint-keyed cache means the table phase
 /// and the google-benchmark phase never re-simulate a configuration, and —
 /// unlike the old `int(gbit * 10)` bucket — two distinct configs can never

@@ -12,6 +12,31 @@
 
 namespace saisim {
 
+#if defined(SAISIM_TELEMETRY_ENABLED)
+namespace {
+
+// Drives one shard's TimelineSampler: a self-rescheduling event in that
+// shard's own queue, so every sample executes on the thread that owns the
+// probed state and ticks land at exactly k * period in simulated time.
+// Ticks read model state but never mutate it and never draw RNG, so the
+// model event sequence — and with it every golden fingerprint — is
+// unchanged whether sampling is on or off.
+struct SamplerDriver {
+  sim::Simulation* sim = nullptr;
+  trace::TimelineSampler* sampler = nullptr;
+  Time period = Time::zero();
+
+  void arm() {
+    sim->after(period, [this] {
+      sampler->sample(sim->now());
+      arm();
+    });
+  }
+};
+
+}  // namespace
+#endif  // SAISIM_TELEMETRY_ENABLED
+
 ClientNode::ClientNode(sim::Simulation& simulation, net::Network& network,
                        const ExperimentConfig& cfg, NodeId node,
                        std::vector<NodeId> server_nodes, NodeId meta_node)
@@ -41,6 +66,11 @@ ClientNode::ClientNode(sim::Simulation& simulation, net::Network& network,
 }
 
 RunMetrics run_experiment(const ExperimentConfig& cfg) {
+  return run_experiment(cfg, nullptr);
+}
+
+RunMetrics run_experiment(const ExperimentConfig& cfg,
+                          trace::RunTrace* capture) {
   SAISIM_CHECK(cfg.num_clients > 0);
   SAISIM_CHECK(cfg.num_servers > 0);
   SAISIM_CHECK(cfg.procs_per_client > 0);
@@ -148,6 +178,128 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
     clients.push_back(std::make_unique<ClientNode>(
         simulation, network, cfg, node, server_nodes, meta_node));
   }
+
+#if defined(SAISIM_TELEMETRY_ENABLED)
+  // Time-resolved telemetry: one sampler per shard, each probe registered
+  // on the shard that owns the state it reads (clients on the control
+  // shard, each server on its home shard), driven by self-rescheduling
+  // tick events. Metric names carry client/server indices — never shard
+  // ranks — so the merged timeline is bit-identical across sim.shards.
+  std::vector<std::unique_ptr<trace::TimelineSampler>> samplers;
+  std::vector<std::unique_ptr<SamplerDriver>> sampler_drivers;
+  std::vector<std::unique_ptr<trace::Tracer>> flight_rings;
+  std::optional<trace::TraceScope> flight_scope;
+  const bool telemetry_on = trace::telemetry_enabled(cfg.telemetry);
+  const trace::TelemetrySloConfig& slo = cfg.telemetry.slo;
+  if (telemetry_on) {
+    for (int r = 0; r < num_shards; ++r) {
+      samplers.push_back(std::make_unique<trace::TimelineSampler>(
+          cfg.telemetry.sample_period, slo.window,
+          cfg.telemetry.flight_recorder_events));
+    }
+    for (int c = 0; c < cfg.num_clients; ++c) {
+      ClientNode* cl = clients[static_cast<u64>(c)].get();
+      trace::TimelineSampler& ts = *samplers[0];  // clients home on shard 0
+      const std::string p = "client" + std::to_string(c);
+      ts.add_gauge(p + ".pfs.inflight", [cl] {
+        return static_cast<i64>(cl->pfs().inflight_requests());
+      });
+      ts.add_gauge(p + ".nic.rx_backlog", [cl] {
+        return static_cast<i64>(cl->nic().rx_backlog());
+      });
+      ts.add_counter(p + ".pfs.reads_completed", [cl] {
+        return static_cast<i64>(cl->pfs().stats().reads_completed);
+      });
+      ts.add_counter(p + ".pfs.strips_received", [cl] {
+        return static_cast<i64>(cl->pfs().stats().strips_received);
+      });
+      ts.add_counter(p + ".pfs.retransmits", [cl] {
+        return static_cast<i64>(cl->pfs().stats().retransmits);
+      });
+      ts.add_counter(p + ".nic.interrupts", [cl] {
+        return static_cast<i64>(cl->nic().stats().interrupts);
+      });
+      const u64 p99 = ts.add_window_p99(
+          p + ".pfs.read_p99_us", &cl->pfs().stats().read_latency_us_hist);
+      if (slo.p99_read_latency_us > 0) {
+        ts.watch(p99, static_cast<i64>(slo.p99_read_latency_us));
+      }
+      const u64 rate = ts.add_window_rate_ppm(
+          p + ".pfs.retransmit_rate_ppm",
+          [cl] { return static_cast<i64>(cl->pfs().stats().retransmits); },
+          [cl] {
+            return static_cast<i64>(cl->pfs().stats().strips_received);
+          });
+      if (slo.retransmit_rate_ppm > 0) {
+        ts.watch(rate, static_cast<i64>(slo.retransmit_rate_ppm));
+      }
+    }
+    for (u64 s = 0; s < servers.size(); ++s) {
+      pfs::IoServer* srv = servers[s].get();
+      trace::TimelineSampler& ts =
+          *samplers[static_cast<u64>(server_shards[s])];
+      const std::string p = "server" + std::to_string(s);
+      const u64 depth = ts.add_gauge(p + ".cpu_qdepth", [srv] {
+        return static_cast<i64>(srv->cpu_queue_depth());
+      });
+      if (slo.max_queue_depth > 0) {
+        ts.watch(depth, static_cast<i64>(slo.max_queue_depth));
+      }
+      ts.add_gauge(p + ".dirty_blocks", [srv] {
+        return static_cast<i64>(srv->cache().dirty_blocks());
+      });
+      ts.add_counter(p + ".requests", [srv] {
+        return static_cast<i64>(srv->stats().requests);
+      });
+      ts.add_counter(p + ".bytes_served", [srv] {
+        return static_cast<i64>(srv->stats().bytes_served);
+      });
+    }
+    samplers[static_cast<u64>(meta_shard)]->add_counter(
+        "meta.lookups",
+        [&meta] { return static_cast<i64>(meta.lookups()); });
+    if (cfg.telemetry.kernel_gauges) {
+      // Per-shard kernel occupancy — rank-keyed, so legitimately different
+      // across sim.shards values; opt-in and excluded from the
+      // shard-identity contract.
+      for (int r = 0; r < num_shards; ++r) {
+        sim::Simulation* shard_sim = &engine.shard(r);
+        samplers[static_cast<u64>(r)]->add_gauge(
+            "sim.shard" + std::to_string(r) + ".pending_events",
+            [shard_sim] {
+              return static_cast<i64>(shard_sim->pending_events());
+            });
+      }
+    }
+    // Flight recorder: when the watchdog is armed and no full trace was
+    // requested, give every shard a small ring tracer so a breach can dump
+    // the events leading up to it. Ambient tracers (tests wrapping the run
+    // in a TraceScope) are left installed — the ring must never steal
+    // events from a requested capture.
+    if (trace::slo_armed(cfg.telemetry) && tracer == nullptr) {
+      if (trace::Tracer::current() == nullptr) {
+        flight_rings.push_back(std::make_unique<trace::Tracer>(
+            trace::kAllSubsystems, cfg.telemetry.flight_recorder_events,
+            /*ring=*/true));
+        flight_scope.emplace(flight_rings.back().get());
+      }
+      for (int r = 1; r < num_shards; ++r) {
+        flight_rings.push_back(std::make_unique<trace::Tracer>(
+            trace::kAllSubsystems, cfg.telemetry.flight_recorder_events,
+            /*ring=*/true));
+        engine.set_tracer(r, flight_rings.back().get());
+      }
+    }
+    for (int r = 0; r < num_shards; ++r) {
+      if (!samplers[static_cast<u64>(r)]->has_probes()) continue;
+      sampler_drivers.push_back(std::make_unique<SamplerDriver>());
+      sampler_drivers.back()->sim = &engine.shard(r);
+      sampler_drivers.back()->sampler = samplers[static_cast<u64>(r)].get();
+      sampler_drivers.back()->period = cfg.telemetry.sample_period;
+      sampler_drivers.back()->arm();
+    }
+  }
+#endif  // SAISIM_TELEMETRY_ENABLED
 
   // Workload: procs_per_client IOR processes per client, placed round-robin
   // over the cores; each reads its own disjoint region of the shared file
@@ -365,11 +517,32 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
   m.hinted_interrupt_share_x1e4 =
       raised ? registry.value("apic.hinted_routes") * 10'000 / raised : 0;
 
+  // Merge the per-shard telemetry series into the export-ready timeline
+  // and derive the SLO verdict. All counters below are registered only
+  // when telemetry is on, so telemetry-off metrics CSVs stay bit-identical
+  // to pre-telemetry builds.
+  trace::TimelineSeries timeline;
+#if defined(SAISIM_TELEMETRY_ENABLED)
+  if (telemetry_on) {
+    std::vector<const trace::TimelineSampler*> by_rank;
+    by_rank.reserve(samplers.size());
+    for (auto& s : samplers) by_rank.push_back(s.get());
+    timeline = trace::merge_timelines(by_rank);
+    m.slo_breaches = timeline.breaches.size();
+    if (!timeline.breaches.empty()) {
+      m.first_slo_breach_us = static_cast<u64>(
+          timeline.breaches.front().when.picoseconds() / 1'000'000);
+    }
+    registry.counter("telemetry.samples").add(timeline.ticks);
+    registry.counter("telemetry.slo_breaches").add(m.slo_breaches);
+  }
+#endif  // SAISIM_TELEMETRY_ENABLED
+
   // Hand the run to the process-wide collector when --trace/--metrics was
   // given. The sort key is the config fingerprint (policy is a reflected
   // field, so it participates): export order is deterministic and reruns
   // of an identical config dedupe away.
-  if (topts.collect) {
+  if (topts.collect || capture != nullptr) {
     trace::RunTrace run;
     run.label = std::string(policy_name(cfg.policy));
     run.sort_key = util::reflect::fingerprint_of(cfg);
@@ -384,7 +557,15 @@ RunMetrics run_experiment(const ExperimentConfig& cfg) {
       run.spans = trace::build_spans(run.events);
     }
     run.counters = registry.snapshot();
-    trace::RunCollector::instance().add_run(std::move(run));
+    run.timeline = std::move(timeline);
+    if (capture != nullptr) {
+      *capture = run;
+      if (topts.collect) {
+        trace::RunCollector::instance().add_run(std::move(run));
+      }
+    } else {
+      trace::RunCollector::instance().add_run(std::move(run));
+    }
   }
 
   return m;

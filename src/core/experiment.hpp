@@ -15,6 +15,8 @@
 #include "pfs/io_server.hpp"
 #include "pfs/meta_server.hpp"
 #include "sais/sais_client.hpp"
+#include "trace/export.hpp"
+#include "trace/timeline.hpp"
 #include "util/reflect.hpp"
 #include "workload/background_load.hpp"
 #include "workload/ior_process.hpp"
@@ -94,6 +96,9 @@ struct ExperimentConfig {
   net::FaultConfig fault{};
   /// Simulation-kernel parallelism (sim.shards, sim.lookahead_override).
   SimKernelConfig sim{};
+  /// Time-resolved telemetry: deterministic metric sampling + SLO watchdog
+  /// (off by default — telemetry.sample_period = 0 records nothing).
+  trace::TelemetryConfig telemetry{};
 };
 
 template <class V>
@@ -143,6 +148,11 @@ void describe(V& v, ExperimentConfig& c) {
   v.field("max_sim_time", c.max_sim_time, r::positive());
   v.group("fault", c.fault);
   v.group("sim", c.sim);
+  v.group("telemetry", c.telemetry);
+  v.invariant(!trace::slo_armed(c.telemetry) ||
+                  trace::telemetry_enabled(c.telemetry),
+              "telemetry.slo thresholds need telemetry.sample_period > 0: "
+              "the watchdog evaluates at sample ticks");
   v.invariant(c.sim.shards == 1 || c.switch_latency > Time::zero(),
               "sim.shards > 1 needs a positive switch_latency: every "
               "cross-shard path must carry at least the lookahead");
@@ -183,6 +193,11 @@ struct RunMetrics {
   double mean_read_latency_us = 0.0;
   /// Per-client bandwidths (multi-client scaling figure).
   std::vector<double> per_client_bandwidth_mbps;
+  /// SLO watchdog verdict (0 / 0 when telemetry or the watchdog is off).
+  u64 slo_breaches = 0;
+  /// Sim time of the first breach, µs (0 when no breach — time-to-first-
+  /// breach sweep column).
+  u64 first_slo_breach_us = 0;
 };
 
 /// One simulated client machine and its software stack.
@@ -214,6 +229,13 @@ class ClientNode {
 
 /// Build the cluster, run the workload to completion, aggregate metrics.
 RunMetrics run_experiment(const ExperimentConfig& cfg);
+
+/// As above, but also fills `capture` with the run's observability output
+/// (merged telemetry timeline, counters, any recorded events) instead of
+/// relying on the process-wide RunCollector — the deterministic-telemetry
+/// tests diff captures across shard counts and reruns through this.
+RunMetrics run_experiment(const ExperimentConfig& cfg,
+                          trace::RunTrace* capture);
 
 /// Two runs of the same configuration under different policies, with the
 /// paper's speed-up percentage ((sais - base) / base * 100).

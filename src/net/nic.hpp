@@ -80,6 +80,14 @@ class ClientNic : public sim::Actor {
   const NicStats& stats() const { return stats_; }
   const NicConfig& config() const { return cfg_; }
 
+  /// Packets received but not yet softirq-processed, summed over queues —
+  /// the NIC/softirq backlog gauge the telemetry sampler reads.
+  u64 rx_backlog() const {
+    u64 n = 0;
+    for (const Queue& q : queues_) n += q.pending.size() + q.outstanding;
+    return n;
+  }
+
   void set_hint_parser(HintParser parser) { hint_parser_ = std::move(parser); }
   void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
 

@@ -79,6 +79,8 @@ class IoServer : public sim::Actor {
   const IoServerStats& stats() const { return stats_; }
   const BufferCache& cache() const { return cache_; }
   const ServerCpu::Stats& cpu_stats() const { return cpu_.stats(); }
+  /// Instantaneous scheduler depth (queued + running) for telemetry gauges.
+  u64 cpu_queue_depth() const { return cpu_.depth(); }
 
   /// Degrade this server (adds to every disk access) — failure injection.
   void set_slowdown(Time extra_per_request) { slowdown_ = extra_per_request; }

@@ -133,6 +133,12 @@ class PfsClient : public sim::Actor {
   const PfsClientStats& stats() const { return stats_; }
   const StripeLayout& layout() const { return layout_; }
 
+  /// Requests issued but not yet completed (reads + writes) — the
+  /// in-flight gauge the telemetry sampler reads.
+  u64 inflight_requests() const {
+    return pending_.size() + pending_writes_.size();
+  }
+
  private:
   // Per-request span storage lives in one arena block: `nspans` StripSpans
   // followed by a completion bitmap of (nspans+63)/64 u64 words. The block

@@ -73,6 +73,10 @@ class ServerCpu {
 
   const Stats& stats() const { return stats_; }
 
+  /// Instantaneous run-queue depth (queued + running) — the gauge the
+  /// telemetry sampler reads.
+  u64 depth() const { return queued() + (running_ ? 1 : 0); }
+
   /// Enqueue `cost` of CPU work; `done(at)` fires inside the completion
   /// event (sim().now() == at).
   void submit(Prio prio, Time cost, std::function<void(Time)> done) {

@@ -29,7 +29,7 @@ const char* cli_usage() {
          "--dump-config\n"
          "               --trace=FILE  --trace-filter=subsys,...  "
          "--metrics=FILE\n"
-         "               --log-level=LEVEL|subsys=LEVEL,...";
+         "               --timeline=FILE  --log-level=LEVEL|subsys=LEVEL,...";
 }
 
 CliOptions parse_cli(int* argc, char** argv) {
@@ -85,6 +85,9 @@ CliOptions parse_cli(int* argc, char** argv) {
     } else if (arg.rfind("--metrics=", 0) == 0) {
       if (arg.size() == 10) bad_flag(argv[i], "--metrics=FILE");
       opts.metrics_file = arg.substr(10);
+    } else if (arg.rfind("--timeline=", 0) == 0) {
+      if (arg.size() == 11) bad_flag(argv[i], "--timeline=FILE");
+      opts.timeline_file = arg.substr(11);
     } else if (arg.rfind("--log-level=", 0) == 0) {
       if (arg.size() == 12) {
         bad_flag(argv[i], "--log-level=LEVEL or subsys=LEVEL,...");
@@ -148,8 +151,10 @@ void apply_observability(const CliOptions& cli) {
     trace::RuntimeOptions& topts = trace::options();
     topts.trace_file = cli.trace_file;
     topts.metrics_file = cli.metrics_file;
+    topts.timeline_file = cli.timeline_file;
     topts.events = !cli.trace_file.empty();
-    topts.collect = topts.events || !cli.metrics_file.empty();
+    topts.collect = topts.events || !cli.metrics_file.empty() ||
+                    !cli.timeline_file.empty();
     if (!cli.trace_filter.empty()) {
       topts.mask = parse_trace_filter(cli.trace_filter);
     }

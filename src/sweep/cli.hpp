@@ -14,6 +14,8 @@
 //   --trace-filter=subsys,...  limit event recording to the named
 //                   subsystems (e.g. apic,cpu,pfs); default: all
 //   --metrics=FILE  write every run's counter registry as CSV
+//   --timeline=FILE write every run's telemetry timeline as a long-format
+//                   time-series CSV (needs telemetry.sample_period > 0)
 //   --log-level=SPEC  per-subsystem log levels ("debug" or
 //                   "pfs=debug,net=warn"); overrides $SAISIM_LOG
 // `parse_cli` strips the flags it recognises from argv so the remainder
@@ -45,6 +47,8 @@ struct CliOptions {
   std::string trace_filter;
   /// --metrics=FILE: counter-registry CSV output ("" = off).
   std::string metrics_file;
+  /// --timeline=FILE: telemetry time-series CSV output ("" = off).
+  std::string timeline_file;
   /// --log-level=SPEC log spec ("" = env/default only).
   std::string log_spec;
 

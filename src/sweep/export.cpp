@@ -66,6 +66,14 @@ constexpr MetricColumn kColumns[] = {
      [](const RunMetrics& m) {
        return stats::Table::Cell{static_cast<i64>(m.p99_read_latency_us)};
      }},
+    {"slo_breaches",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.slo_breaches)};
+     }},
+    {"first_slo_breach_us",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.first_slo_breach_us)};
+     }},
 };
 
 }  // namespace

@@ -59,13 +59,18 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
   popts.progress = opts_.progress;
   popts.label = spec.name();
   res.metrics = parallel_map(n, popts, [&](u64 i) {
-    return cache_.get_or_run(res.points[i].config, run_experiment);
+    // run_experiment is overloaded (capture variant); name the arity we mean.
+    return cache_.get_or_run(res.points[i].config,
+                             [](const ExperimentConfig& c) {
+                               return run_experiment(c);
+                             });
   });
   return res;
 }
 
 RunMetrics SweepRunner::run_config(const ExperimentConfig& cfg) {
-  return cache_.get_or_run(cfg, run_experiment);
+  return cache_.get_or_run(
+      cfg, [](const ExperimentConfig& c) { return run_experiment(c); });
 }
 
 Comparison compare_policies(ExperimentConfig cfg, PolicyKind baseline) {

@@ -7,13 +7,30 @@ namespace saisim::trace {
 u64 CounterRegistry::LatencyRecorder::quantile(double q) const {
   const u64 n = count();
   if (n == 0) return 0;
-  const u64 target = static_cast<u64>(q * static_cast<double>(n));
+  // All samples in one bucket: the upper edge would overstate by up to 2x
+  // (e.g. a single record(10) reporting p99=15), so report the bucket
+  // midpoint instead.
+  int populated = -1;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (bucket(i) == 0) continue;
+    if (populated >= 0) { populated = -2; break; }
+    populated = i;
+  }
+  if (populated >= 0) {
+    const u64 lower = populated == 0 ? 0 : 1ull << populated;
+    const u64 upper = populated >= 63 ? ~0ull : (2ull << populated) - 1;
+    return lower + (upper - lower) / 2;
+  }
+  // Clamp the rank to the last sample so q >= 1.0 selects the max bucket
+  // instead of scanning past every populated bucket.
+  u64 target = static_cast<u64>(q * static_cast<double>(n));
+  if (target >= n) target = n - 1;
   u64 seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += bucket(i);
     if (seen > target) return i >= 63 ? ~0ull : (2ull << i) - 1;
   }
-  return ~0ull;
+  return ~0ull;  // unreachable: seen reaches n > target
 }
 
 CounterRegistry::Counter& CounterRegistry::counter(std::string_view name) {

@@ -69,7 +69,10 @@ class CounterRegistry {
     }
 
     /// Approximate quantile: upper edge of the containing bucket (matches
-    /// stats::Log2Histogram::quantile).
+    /// stats::Log2Histogram::quantile for multi-bucket data). Edge cases:
+    /// empty → 0, all samples in one bucket → that bucket's midpoint, and
+    /// q >= 1.0 clamps to the max populated bucket instead of overflowing
+    /// the bucket scan.
     u64 quantile(double q) const;
 
    private:

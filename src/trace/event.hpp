@@ -33,6 +33,7 @@
 //   server.disk         server      -             bytes read      forced wbs   -
 //   server.flush        server      -             blocks flushed  burst ps     -
 //   meta.lookup         meta        -             queue depth     queue wait ps -
+//   telemetry.slo_breach -          -             sampled value   threshold    sample index
 #pragma once
 
 #include "util/subsystem.hpp"
@@ -67,8 +68,9 @@ enum class EventType : u8 {
   kServerDiskDone,
   kServerFlush,
   kMetaLookup,
+  kSloBreach,
 };
-inline constexpr int kNumEventTypes = 25;
+inline constexpr int kNumEventTypes = 26;
 
 inline constexpr const char* kEventNames[kNumEventTypes] = {
     "nic.rx",
@@ -96,6 +98,7 @@ inline constexpr const char* kEventNames[kNumEventTypes] = {
     "server.disk",
     "server.flush",
     "meta.lookup",
+    "telemetry.slo_breach",
 };
 
 inline constexpr const char* event_name(EventType t) {
@@ -112,6 +115,7 @@ inline constexpr util::Subsystem event_subsystem(EventType t) {
       S::kPfs,      S::kPfs,      S::kPfs,      S::kWorkload, S::kWorkload,
       S::kWorkload, S::kWorkload, S::kNet,      S::kNet,      S::kNet,
       S::kPfs,      S::kPfs,      S::kPfs,      S::kPfs,      S::kPfs,
+      S::kCore,
   };
   return map[static_cast<u8>(t)];
 }

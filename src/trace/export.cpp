@@ -113,6 +113,21 @@ std::string to_chrome_json(const std::vector<RunTrace>& runs) {
       }
     }
 
+    // Metric timelines as Perfetto counter tracks: one "C" event per
+    // metric per sample, under the run's pid so the counter rows sit next
+    // to the raw timeline. Emitted only when a timeline exists (telemetry
+    // on), so default traces stay byte-identical.
+    for (u64 mi = 0; mi < run.timeline.metrics.size(); ++mi) {
+      const std::string& metric = run.timeline.metrics[mi];
+      for (u64 k = 0; k < run.timeline.ticks; ++k) {
+        append_common(out, metric.c_str(), "telemetry", pid, 0,
+                      run.timeline.tick_time_ps(k));
+        out += ",\"ph\":\"C\",\"args\":{\"value\":";
+        out += std::to_string(run.timeline.values[mi][k]);
+        out += "}},\n";
+      }
+    }
+
     // Request-lifecycle spans: six back-to-back phase slices per request,
     // one track (tid) per request.
     for (const RequestSpan& s : run.spans) {
@@ -154,6 +169,32 @@ std::string to_chrome_json(const std::vector<RunTrace>& runs) {
     out.erase(out.size() - 2, 1);  // drop the trailing comma, keep the \n
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string timeline_csv(const std::vector<RunTrace>& runs) {
+  std::string out = "run,label,sample,time_us,metric,value\n";
+  for (u64 ri = 0; ri < runs.size(); ++ri) {
+    const RunTrace& run = runs[ri];
+    const TimelineSeries& tl = run.timeline;
+    for (u64 k = 0; k < tl.ticks; ++k) {
+      const std::string time = format_us(tl.tick_time_ps(k));
+      for (u64 mi = 0; mi < tl.metrics.size(); ++mi) {
+        out += std::to_string(ri);
+        out += ',';
+        out += run.label;
+        out += ',';
+        out += std::to_string(k);
+        out += ',';
+        out += time;
+        out += ',';
+        out += tl.metrics[mi];
+        out += ',';
+        out += std::to_string(tl.values[mi][k]);
+        out += '\n';
+      }
+    }
+  }
   return out;
 }
 

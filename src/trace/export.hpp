@@ -15,6 +15,7 @@
 
 #include "trace/event.hpp"
 #include "trace/span.hpp"
+#include "trace/timeline.hpp"
 
 namespace saisim::trace {
 
@@ -29,6 +30,11 @@ struct RunTrace {
   std::vector<RequestSpan> spans;
   /// Name-sorted counter snapshot (CounterRegistry::snapshot()).
   std::vector<std::pair<std::string, u64>> counters;
+  /// Merged metric timeline (empty unless telemetry.sample_period > 0).
+  /// Feeds the Perfetto counter tracks and the --timeline CSV; empty
+  /// timelines add zero bytes to either export, so telemetry-off output is
+  /// bit-identical to pre-telemetry builds.
+  TimelineSeries timeline;
 };
 
 /// Microseconds with 6 fractional digits from integer picoseconds
@@ -40,5 +46,12 @@ std::string to_chrome_json(const std::vector<RunTrace>& runs);
 
 /// "run,counter,value" CSV of every run's counter snapshot.
 std::string metrics_csv(const std::vector<RunTrace>& runs);
+
+/// Long-format time-series CSV of every run's timeline:
+/// "run,label,sample,time_us,metric,value", sample-major with metrics in
+/// name order inside each sample — byte-deterministic (integer time
+/// formatting via format_us) and, like the timeline itself, bit-identical
+/// across sim.shards values.
+std::string timeline_csv(const std::vector<RunTrace>& runs);
 
 }  // namespace saisim::trace

@@ -75,6 +75,53 @@ void RunCollector::finalize() {
                    opts.metrics_file.c_str());
     }
   }
+  if (!opts.timeline_file.empty()) {
+    const std::string csv = timeline_csv(runs_);
+    if (FILE* f = std::fopen(opts.timeline_file.c_str(), "w")) {
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "saisim: wrote timeline (%llu runs) to %s\n",
+                   static_cast<unsigned long long>(runs_.size()),
+                   opts.timeline_file.c_str());
+    } else {
+      std::fprintf(stderr, "saisim: cannot write timeline file %s\n",
+                   opts.timeline_file.c_str());
+    }
+  }
+  // SLO breaches are anomalies: always surface them on stderr, with the
+  // flight-recorder dump for the first breach of each run (the bounded
+  // ring of trace events leading up to the threshold crossing).
+  for (const RunTrace& run : runs_) {
+    const auto& breaches = run.timeline.breaches;
+    if (breaches.empty()) continue;
+    std::fprintf(stderr,
+                 "\n[%s] %llu SLO breach(es); first at sample %llu "
+                 "(t=%s us): %s = %lld > %lld\n",
+                 run.label.c_str(),
+                 static_cast<unsigned long long>(breaches.size()),
+                 static_cast<unsigned long long>(breaches.front().tick),
+                 format_us(breaches.front().when.picoseconds()).c_str(),
+                 breaches.front().metric.c_str(),
+                 static_cast<long long>(breaches.front().value),
+                 static_cast<long long>(breaches.front().threshold));
+    const SloBreach& first = breaches.front();
+    if (first.flight.empty()) {
+      std::fprintf(stderr, "  (flight recorder empty — build with "
+                           "SAISIM_TRACING=ON to capture events)\n");
+      continue;
+    }
+    std::fprintf(stderr, "  flight recorder (%llu events, oldest first):\n",
+                 static_cast<unsigned long long>(first.flight.size()));
+    for (const Event& e : first.flight) {
+      std::fprintf(stderr, "    %14s us  %-22s node=%d core=%d req=%lld "
+                           "a=%lld b=%lld\n",
+                   format_us(e.when.picoseconds()).c_str(),
+                   event_name(e.type), e.node, e.core,
+                   static_cast<long long>(e.request),
+                   static_cast<long long>(e.a),
+                   static_cast<long long>(e.b));
+    }
+  }
 }
 
 }  // namespace saisim::trace

@@ -26,8 +26,9 @@ struct RuntimeOptions {
   bool events = false;
   SubsystemMask mask = kAllSubsystems;
   u64 capacity = Tracer::kDefaultCapacity;
-  std::string trace_file;    // "" = no trace JSON
-  std::string metrics_file;  // "" = no metrics CSV
+  std::string trace_file;     // "" = no trace JSON
+  std::string metrics_file;   // "" = no metrics CSV
+  std::string timeline_file;  // "" = no time-series CSV
 };
 
 /// The process-wide options (mutated by the CLI layer before any runs).

@@ -15,7 +15,10 @@
 //
 // Storage is chunked (no reallocation-copy of a multi-MiB vector mid-run)
 // and bounded: past `capacity` events the tracer drops new events and
-// counts them, so a pathological config cannot OOM the host.
+// counts them, so a pathological config cannot OOM the host. A ring-mode
+// tracer instead overwrites the *oldest* event — the flight recorder the
+// SLO watchdog dumps around a breach keeps the most recent events, which
+// is the opposite retention policy from a capped full trace.
 #pragma once
 
 #include <algorithm>
@@ -39,9 +42,14 @@ class Tracer {
  public:
   static constexpr u64 kDefaultCapacity = 1ull << 20;
 
+  /// `ring` selects the retention policy at capacity: false (default)
+  /// drops new events and counts them; true overwrites the oldest event —
+  /// the flight-recorder mode.
   explicit Tracer(SubsystemMask mask = kAllSubsystems,
-                  u64 capacity = kDefaultCapacity)
-      : mask_(mask), capacity_(capacity) {}
+                  u64 capacity = kDefaultCapacity, bool ring = false)
+      : mask_(mask), capacity_(capacity), ring_(ring) {
+    if (ring_ && capacity_ == 0) capacity_ = 1;
+  }
 
   /// The tracer installed on this thread, or nullptr (tracing inactive).
   static Tracer* current() { return tl_current_; }
@@ -51,7 +59,15 @@ class Tracer {
   void record(EventType type, Time when, i32 node, i32 core,
               RequestId request, i64 a = 0, i64 b = 0, i64 c = 0) {
     if (size_ >= capacity_) {
-      ++dropped_;
+      if (!ring_) {
+        ++dropped_;
+        return;
+      }
+      // Ring: overwrite the oldest event in place.
+      const u64 slot = head_;
+      head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+      chunks_[slot / kChunk][slot % kChunk] =
+          Event{when, type, node, core, request, a, b, c};
       return;
     }
     if (size_ == chunks_.size() * kChunk) {
@@ -65,8 +81,25 @@ class Tracer {
   u64 size() const { return size_; }
   u64 dropped() const { return dropped_; }
   SubsystemMask mask() const { return mask_; }
+  bool ring() const { return ring_; }
 
-  const Event& event(u64 i) const { return chunks_[i / kChunk][i % kChunk]; }
+  /// The i-th retained event in recording order (for a full ring, index 0
+  /// is the oldest surviving event, not the first ever recorded).
+  const Event& event(u64 i) const {
+    u64 slot = head_ + i;
+    if (slot >= capacity_) slot -= capacity_;
+    return chunks_[slot / kChunk][slot % kChunk];
+  }
+
+  /// The last min(n, size()) retained events, oldest first — the flight-
+  /// recorder snapshot the SLO watchdog attaches to a breach.
+  std::vector<Event> tail(u64 n) const {
+    const u64 m = n < size_ ? n : size_;
+    std::vector<Event> out;
+    out.reserve(m);
+    for (u64 i = size_ - m; i < size_; ++i) out.push_back(event(i));
+    return out;
+  }
 
   /// Consolidates the recorded stream (in recording order) and resets the
   /// tracer.
@@ -76,6 +109,7 @@ class Tracer {
     for (u64 i = 0; i < size_; ++i) out.push_back(event(i));
     chunks_.clear();
     size_ = 0;
+    head_ = 0;
     dropped_ = 0;
     return out;
   }
@@ -88,7 +122,9 @@ class Tracer {
 
   SubsystemMask mask_;
   u64 capacity_;
+  bool ring_ = false;
   u64 size_ = 0;
+  u64 head_ = 0;  // index of the oldest retained event (ring mode)
   u64 dropped_ = 0;
   std::vector<std::unique_ptr<Event[]>> chunks_;
 };

@@ -35,7 +35,9 @@ TEST(ConfigDrift, DescribedLeafCounts) {
   EXPECT_EQ(count_fields<ClientMachineConfig>(), 24u);
   EXPECT_EQ(count_fields<ServerMachineConfig>(), 19u);
   EXPECT_EQ(count_fields<SimKernelConfig>(), 2u);
-  EXPECT_EQ(count_fields<ExperimentConfig>(), 82u);
+  EXPECT_EQ(count_fields<trace::TelemetrySloConfig>(), 4u);
+  EXPECT_EQ(count_fields<trace::TelemetryConfig>(), 7u);
+  EXPECT_EQ(count_fields<ExperimentConfig>(), 89u);
   EXPECT_EQ(count_fields<memsim::MemsimConfig>(), 23u);
   EXPECT_EQ(count_fields<realmem::RealMemConfig>(), 8u);
 }
@@ -65,7 +67,11 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
                 count_fields<pfs::MetaServerConfig>() +
                 2u /* seed, max_sim_time */ +
                 count_fields<net::FaultConfig>() +
-                count_fields<SimKernelConfig>());
+                count_fields<SimKernelConfig>() +
+                count_fields<trace::TelemetryConfig>());
+  EXPECT_EQ(count_fields<trace::TelemetryConfig>(),
+            3u /* sample_period, flight_recorder_events, kernel_gauges */ +
+                count_fields<trace::TelemetrySloConfig>());
 }
 
 #if defined(__x86_64__) && defined(__linux__)
@@ -86,7 +92,9 @@ TEST(ConfigDrift, StructSizesMatchDescribedLayout) {
   EXPECT_EQ(sizeof(ClientMachineConfig), 184u);
   EXPECT_EQ(sizeof(ServerMachineConfig), 128u);
   EXPECT_EQ(sizeof(SimKernelConfig), 16u);
-  EXPECT_EQ(sizeof(ExperimentConfig), 600u);
+  EXPECT_EQ(sizeof(trace::TelemetrySloConfig), 32u);
+  EXPECT_EQ(sizeof(trace::TelemetryConfig), 56u);
+  EXPECT_EQ(sizeof(ExperimentConfig), 656u);
   EXPECT_EQ(sizeof(memsim::MemsimConfig), 168u);
   EXPECT_EQ(sizeof(realmem::RealMemConfig), 48u);
 }
@@ -99,6 +107,22 @@ TEST(ConfigDrift, DefaultsAreValid) {
   EXPECT_TRUE(util::reflect::validate_config(memsim::MemsimConfig{}).empty());
   EXPECT_TRUE(
       util::reflect::validate_config(realmem::RealMemConfig{}).empty());
+}
+
+// telemetry.* validation: SLO thresholds are only meaningful when the
+// sampler actually runs, and the sample period must not be negative.
+TEST(ConfigDrift, TelemetryValidation) {
+  ExperimentConfig cfg;
+  cfg.telemetry.slo.p99_read_latency_us = 1000;  // armed, but no sampling
+  const auto errors = util::reflect::validate_config(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("sample_period"), std::string::npos);
+
+  cfg.telemetry.sample_period = Time::ms(1);
+  EXPECT_TRUE(util::reflect::validate_config(cfg).empty());
+
+  cfg.telemetry.sample_period = Time::ps(-1);
+  EXPECT_FALSE(util::reflect::validate_config(cfg).empty());
 }
 
 // The paper's client (Fig. 4 testbed) encodes the source core in 5 bits of

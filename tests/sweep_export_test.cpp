@@ -49,7 +49,8 @@ TEST(SweepExport, MetricColumnOrderIsStable) {
                 "elapsed_us", "total_bytes", "c2c_transfers", "interrupts",
                 "retransmits", "rx_drops", "hinted_interrupt_share_x1e4",
                 "duplicate_strips", "failed_requests",
-                "p99_read_latency_us"}));
+                "p99_read_latency_us", "slo_breaches",
+                "first_slo_breach_us"}));
 }
 
 TEST(SweepExport, CsvGolden) {
@@ -58,11 +59,11 @@ TEST(SweepExport, CsvGolden) {
       "unhalted_cycles,softirq_cycles,mean_read_latency_us,elapsed_us,"
       "total_bytes,c2c_transfers,interrupts,retransmits,rx_drops,"
       "hinted_interrupt_share_x1e4,duplicate_strips,failed_requests,"
-      "p99_read_latency_us\n"
-      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0\n"
-      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0,0,0,0\n"
-      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0,0,0,0\n"
-      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0,0,0,0\n";
+      "p99_read_latency_us,slo_breaches,first_slo_breach_us\n"
+      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0\n"
+      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0,0,0,0,0,0\n"
+      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0,0,0,0,0,0\n"
+      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0,0,0,0,0,0\n";
   EXPECT_EQ(to_csv(tiny_result()), want);
 }
 
@@ -77,7 +78,8 @@ TEST(SweepExport, JsonGolden) {
            ",\"c2c_transfers\":0,\"interrupts\":0,\"retransmits\":0,"
            "\"rx_drops\":0,\"hinted_interrupt_share_x1e4\":0,"
            "\"duplicate_strips\":0,\"failed_requests\":0,"
-           "\"p99_read_latency_us\":0}";
+           "\"p99_read_latency_us\":0,\"slo_breaches\":0,"
+           "\"first_slo_breach_us\":0}";
   };
   const std::string want =
       std::string(
@@ -87,7 +89,8 @@ TEST(SweepExport, JsonGolden) {
           "\"elapsed_us\",\"total_bytes\",\"c2c_transfers\",\"interrupts\","
           "\"retransmits\",\"rx_drops\",\"hinted_interrupt_share_x1e4\","
           "\"duplicate_strips\",\"failed_requests\","
-          "\"p99_read_latency_us\"],"
+          "\"p99_read_latency_us\",\"slo_breaches\","
+          "\"first_slo_breach_us\"],"
           "\"rows\":[") +
       row("a\\\"b", "irq", "1.5", "1") + "," +
       row("a\\\"b", "sais", "2.5", "2") + "," +

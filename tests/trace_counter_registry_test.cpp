@@ -66,6 +66,29 @@ TEST(CounterRegistry, LatencyQuantileMatchesLog2Histogram) {
   EXPECT_EQ(lat.quantile(0.99), h.quantile(0.99));
 }
 
+TEST(CounterRegistry, QuantileEdgeCases) {
+  CounterRegistry reg;
+  // Empty recorder: every quantile is 0, not a garbage sentinel.
+  EXPECT_EQ(reg.latency("empty").quantile(0.5), 0u);
+  EXPECT_EQ(reg.latency("empty").quantile(0.99), 0u);
+  EXPECT_EQ(reg.latency("empty").quantile(1.0), 0u);
+
+  // Single populated bucket: report the bucket midpoint, not the upper
+  // edge (record(10) lands in [8,15] → 11, where the old code said 15).
+  reg.latency("one").record(10);
+  EXPECT_EQ(reg.latency("one").quantile(0.5), 11u);
+  EXPECT_EQ(reg.latency("one").quantile(0.99), 11u);
+  reg.latency("zero").record(0);  // bucket 0 spans [0,1] → midpoint 0
+  EXPECT_EQ(reg.latency("zero").quantile(0.99), 0u);
+
+  // q >= 1.0 used to fall off the end of the bucket array and return
+  // ~0ull; it must clamp to the max populated bucket.
+  CounterRegistry::LatencyRecorder& lat = reg.latency("multi");
+  for (u64 v : {1u, 100u, 5000u}) lat.record(v);
+  EXPECT_EQ(lat.quantile(1.0), lat.quantile(0.99));
+  EXPECT_NE(lat.quantile(1.0), ~0ull);
+}
+
 TEST(CounterRegistry, MergeFoldsAHistogramIn) {
   CounterRegistry reg;
   stats::Log2Histogram h;
