@@ -55,7 +55,8 @@ ClientNode::ClientNode(sim::Simulation& simulation, net::Network& network,
   pfs_ = std::make_unique<pfs::PfsClient>(
       simulation, network, *nic_, node,
       pfs::StripeLayout(cfg.strip_size, cfg.num_servers),
-      std::move(server_nodes), meta_node, address_space_, cfg.client.pfs);
+      std::move(server_nodes), meta_node, address_space_, cfg.client.pfs,
+      cfg.client.sched);
   if (policy_uses_hints(cfg.policy)) {
     sais_ = std::make_unique<sais::SaisClient>(*pfs_, *nic_);
   }
@@ -377,6 +378,14 @@ RunMetrics run_experiment(const ExperimentConfig& cfg,
     registry.counter("pfs.strips_received").add(pc.strips_received);
     registry.counter("pfs.retransmits").add(pc.retransmits);
     registry.counter("pfs.duplicate_strips").add(pc.duplicate_strips);
+    registry.counter("pfs.hedges_issued").add(pc.hedges_issued);
+    registry.counter("pfs.hedges_won").add(pc.hedges_won);
+    registry.counter("pfs.hedges_wasted").add(pc.hedges_wasted);
+    if (const pfs::StragglerScheduler* sched = client->pfs().scheduler()) {
+      registry.counter("pfs.sched_redirects")
+          .add(sched->stats().redirected_strips);
+      registry.counter("pfs.sched_probes").add(sched->stats().probe_strips);
+    }
     registry.latency("pfs.read_latency_us").merge(pc.read_latency_us_hist);
     for (int i = 0; i < client->cpus().num_cores(); ++i) {
       const cpu::CoreAccounting& acct =
@@ -441,6 +450,8 @@ RunMetrics run_experiment(const ExperimentConfig& cfg,
     registry.counter("fault.packets_duplicated").add(fs.packets_duplicated);
     registry.counter("fault.packets_jittered").add(fs.packets_jittered);
     registry.counter("fault.straggler_delays").add(fs.straggler_delays);
+    registry.counter("fault.straggler_tx_delays").add(fs.straggler_tx_delays);
+    registry.counter("fault.straggler_rx_delays").add(fs.straggler_rx_delays);
     registry.counter("fault.degraded_packets").add(fs.degraded_packets);
   }
 
@@ -476,6 +487,9 @@ RunMetrics run_experiment(const ExperimentConfig& cfg,
   m.duplicate_strips = registry.value("pfs.duplicate_strips");
   m.failed_requests =
       registry.value("pfs.reads_failed") + registry.value("pfs.writes_failed");
+  m.hedges_issued = registry.value("pfs.hedges_issued");
+  m.hedges_won = registry.value("pfs.hedges_won");
+  m.hedges_wasted = registry.value("pfs.hedges_wasted");
   m.p99_read_latency_us = registry.latency("pfs.read_latency_us").quantile(0.99);
   m.l2_miss_rate = cache_total.miss_rate();
   const i64 total_cores =

@@ -36,6 +36,9 @@ struct ClientMachineConfig {
   Time user_quantum = Time::us(100);
   /// PFS protocol engine knobs (retransmit/RTO budget).
   pfs::PfsClientConfig pfs{};
+  /// Client-side straggler-aware strip dispatch + hedged reads (fifo =
+  /// off; pfs/straggler_sched.hpp).
+  pfs::ClientSchedConfig sched{};
 };
 
 struct ServerMachineConfig {
@@ -117,6 +120,7 @@ void describe(V& v, ClientMachineConfig& c) {
   v.field("nic_bandwidth", c.nic_bandwidth, r::positive(), "B/s");
   v.field("user_quantum", c.user_quantum, r::positive());
   v.group("pfs", c.pfs);
+  v.group("sched", c.sched);
 }
 
 template <class V>
@@ -198,6 +202,11 @@ struct RunMetrics {
   /// Sim time of the first breach, µs (0 when no breach — time-to-first-
   /// breach sweep column).
   u64 first_slo_breach_us = 0;
+  /// Hedged-read accounting, all clients combined (0 unless
+  /// client.sched.policy = straggler_aware with hedging armed).
+  u64 hedges_issued = 0;
+  u64 hedges_won = 0;
+  u64 hedges_wasted = 0;
 };
 
 /// One simulated client machine and its software stack.

@@ -18,8 +18,10 @@
 //                        packet enters its uplink, so back-to-back packets
 //                        reorder;
 //   * straggler_node / straggler_delay
-//                      — every packet *sent by* that node is slowed — one
-//                        degraded I/O server dragging the read tail;
+//                      — every packet through that node (sent by it, and —
+//                        unless straggler_bidirectional is cleared —
+//                        addressed to it) is slowed: one degraded I/O
+//                        server dragging the read tail;
 //   * degrade_start/end/factor
 //                      — a time window during which every packet pays
 //                        (factor - 1) x its destination-downlink
@@ -47,11 +49,17 @@ struct FaultConfig {
   double duplicate_rate = 0.0;
   /// Uniform extra per-packet delay in [0, max_jitter) — reordering.
   Time max_jitter = Time::zero();
-  /// Node whose *outgoing* packets straggle (-1 = none). Index into the
-  /// experiment topology: I/O servers come first, so 0 degrades server 0.
+  /// Straggling node (-1 = none). Index into the experiment topology: I/O
+  /// servers come first, so 0 degrades server 0.
   i64 straggler_node = -1;
-  /// Extra delay added to every packet the straggler sends.
+  /// Extra delay added to every packet the straggler sends or receives
+  /// (see straggler_bidirectional).
   Time straggler_delay = Time::zero();
+  /// Slow both legs through the straggler. The pre-fix injector delayed
+  /// only packets the straggler *sent*, so the request leg escaped the
+  /// penalty and the effective degradation was half the knob; false
+  /// restores that one-directional behaviour for comparison.
+  bool straggler_bidirectional = true;
   /// Link degradation window [degrade_start, degrade_end): packets sent in
   /// it pay (degrade_factor - 1) x their downlink serialization again.
   Time degrade_start = Time::zero();
@@ -70,6 +78,7 @@ void describe(V& v, FaultConfig& c) {
   v.field("max_jitter", c.max_jitter, r::non_negative());
   v.field("straggler_node", c.straggler_node, r::at_least(-1));
   v.field("straggler_delay", c.straggler_delay, r::non_negative());
+  v.field("straggler_bidirectional", c.straggler_bidirectional);
   v.field("degrade_start", c.degrade_start, r::non_negative());
   v.field("degrade_end", c.degrade_end, r::non_negative());
   v.field("degrade_factor", c.degrade_factor, r::in_frange(1.0, 1e6));
@@ -104,6 +113,10 @@ struct FaultStats {
   u64 packets_duplicated = 0;
   u64 packets_jittered = 0;
   u64 straggler_delays = 0;
+  /// Per-leg breakdown of straggler_delays: packets the straggler sent vs
+  /// packets addressed to it (the leg the pre-fix injector missed).
+  u64 straggler_tx_delays = 0;
+  u64 straggler_rx_delays = 0;
   u64 degraded_packets = 0;
 };
 
@@ -142,10 +155,20 @@ class FaultInjector {
     if (v.delay > Time::zero()) ++stats_.packets_jittered;
     if (v.duplicate) v.dup_delay = jitter();
     Time shared = Time::zero();
-    if (cfg_.straggler_node >= 0 &&
-        p.src == static_cast<NodeId>(cfg_.straggler_node)) {
-      shared += cfg_.straggler_delay;
-      ++stats_.straggler_delays;
+    if (cfg_.straggler_node >= 0) {
+      const NodeId straggler = static_cast<NodeId>(cfg_.straggler_node);
+      // Both legs pay: a slow server is slow to *receive* requests as well
+      // as to send replies (one-directional matching made the effective
+      // penalty half the knob). The legacy behaviour stays reachable via
+      // straggler_bidirectional = false.
+      const bool tx_leg = p.src == straggler;
+      const bool rx_leg = cfg_.straggler_bidirectional && p.dst == straggler;
+      if (tx_leg || rx_leg) {
+        shared += cfg_.straggler_delay;
+        ++stats_.straggler_delays;
+        if (tx_leg) ++stats_.straggler_tx_delays;
+        if (rx_leg) ++stats_.straggler_rx_delays;
+      }
     }
     if (cfg_.degrade_factor > 1.0 && now >= cfg_.degrade_start &&
         now < cfg_.degrade_end) {

@@ -11,7 +11,8 @@ namespace saisim::pfs {
 PfsClient::PfsClient(sim::Simulation& simulation, net::Network& network,
                      net::ClientNic& nic, NodeId self, StripeLayout layout,
                      std::vector<NodeId> server_nodes, NodeId meta_node,
-                     mem::AddressSpace& address_space, PfsClientConfig config)
+                     mem::AddressSpace& address_space, PfsClientConfig config,
+                     ClientSchedConfig sched_config)
     : Actor(simulation),
       network_(network),
       nic_(nic),
@@ -20,8 +21,12 @@ PfsClient::PfsClient(sim::Simulation& simulation, net::Network& network,
       servers_(std::move(server_nodes)),
       meta_node_(meta_node),
       address_space_(address_space),
-      cfg_(config) {
+      cfg_(config),
+      sched_cfg_(sched_config) {
   SAISIM_CHECK(static_cast<int>(servers_.size()) == layout_.num_servers());
+  if (client_sched_enabled(sched_cfg_)) {
+    sched_ = std::make_unique<StragglerScheduler>(sched_cfg_, servers_.size());
+  }
   control_scratch_ = address_space_.allocate(4096);
   nic_.set_rx_handler([this](const net::Packet& p, CoreId handler, Time at) {
     on_rx(p, handler, at);
@@ -38,6 +43,27 @@ StripSpan* PfsClient::alloc_span_block(u32 nspans) {
 
 void PfsClient::release_span_block(StripSpan* spans, u32 nspans) {
   arena_.release(spans, span_block_bytes(nspans));
+}
+
+PfsClient::StripCtl* PfsClient::alloc_ctl_block(u32 nspans) {
+  auto* ctl =
+      static_cast<StripCtl*>(arena_.allocate(u64{nspans} * sizeof(StripCtl)));
+  for (u32 i = 0; i < nspans; ++i) ctl[i] = StripCtl{};
+  return ctl;
+}
+
+void PfsClient::release_ctl_block(StripCtl* ctl, u32 nspans) {
+  arena_.release(ctl, u64{nspans} * sizeof(StripCtl));
+}
+
+u64 PfsClient::server_index_of(NodeId node) const {
+  // Linear scan: the server list is small (the paper's testbed tops out at
+  // 8; sweeps at a few dozen) and this runs only with the scheduler active.
+  for (u64 i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == node) return i;
+  }
+  SAISIM_CHECK_MSG(false, "pfs strip reply from a node that is not a server");
+  return 0;
 }
 
 void PfsClient::open(ProcessId proc, OpenCallback on_open) {
@@ -89,21 +115,65 @@ RequestId PfsClient::read(ProcessId proc, std::optional<CoreId> hint,
   SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsIssue,
                      now(), self_, hint.value_or(kNoCore), id,
                      static_cast<i64>(bytes), static_cast<i64>(nspans));
-  for (u32 s = 0; s < stored.nspans; ++s) {
-    send_strip_request(id, stored, s);
+  if (sched_ == nullptr) {
+    for (u32 s = 0; s < stored.nspans; ++s) {
+      send_strip_request(id, stored, s);
+    }
+  } else {
+    // Dispatch stage: pick each strip's target (redirecting away from slow
+    // primaries), then issue slowest-expected-target first so the laggard's
+    // round trip overlaps everyone else's instead of extending the tail.
+    // The sort is stable and all warmup estimates tie at zero, so a healthy
+    // fleet issues in exactly the fifo order.
+    stored.ctl = alloc_ctl_block(nspans);
+    issue_order_.resize(nspans);
+    // Mark this read's own servers so a redirect never lands a strip on a
+    // peer that is already serving another strip of the same read.
+    sched_->begin_read();
+    for (u32 s = 0; s < nspans; ++s)
+      sched_->note_peer(static_cast<u64>(stored.spans[s].server));
+    for (u32 s = 0; s < nspans; ++s) {
+      stored.ctl[s].target = static_cast<u32>(
+          sched_->choose_target(static_cast<u64>(stored.spans[s].server)));
+      issue_order_[s] = s;
+    }
+    std::stable_sort(issue_order_.begin(), issue_order_.end(),
+                     [&](u32 a, u32 b) {
+                       return sched_->expected_latency(stored.ctl[a].target) >
+                              sched_->expected_latency(stored.ctl[b].target);
+                     });
+    for (u32 k = 0; k < nspans; ++k) {
+      const u32 s = issue_order_[k];
+      send_strip_request(id, stored, s);
+      arm_hedge(id, stored, s);
+    }
   }
   arm_timeout(id);
   return id;
 }
 
-void PfsClient::send_strip_request(RequestId id, const PendingRead& pr,
+void PfsClient::send_strip_request(RequestId id, PendingRead& pr,
                                    u64 span_idx) {
+  // The scheduler's dispatch decision (redirect away from a slow primary)
+  // lives in the ctl block; without it the strip goes where the layout put
+  // it, exactly the pre-scheduler path.
+  u64 target = static_cast<u64>(pr.spans[span_idx].server);
+  if (pr.ctl != nullptr) {
+    target = pr.ctl[span_idx].target;
+    pr.ctl[span_idx].sent_at = now();
+  }
+  ++stats_.strips_requested;
+  send_strip_copy(id, pr, span_idx, target);
+}
+
+void PfsClient::send_strip_copy(RequestId id, const PendingRead& pr,
+                                u64 span_idx, u64 server_idx) {
   const StripSpan& span = pr.spans[span_idx];
   net::Packet req;
   req.id = next_packet_id_++;
   req.kind = net::PacketKind::kPfsRequest;
   req.src = self_;
-  req.dst = servers_[static_cast<u64>(span.server)];
+  req.dst = servers_[server_idx];
   req.request = id;
   req.owner_process = pr.proc;
   req.strip_index = static_cast<u32>(span_idx);
@@ -115,8 +185,51 @@ void PfsClient::send_strip_request(RequestId id, const PendingRead& pr,
   // HintMessager hook: the SAIs stack stamps aff_core_id into the request's
   // options here; baseline kernels leave it empty.
   if (decorator_) decorator_(req, pr.hint);
-  ++stats_.strips_requested;
   network_.send(std::move(req));
+}
+
+void PfsClient::arm_hedge(RequestId id, PendingRead& pr, u32 span_idx) {
+  if (servers_.size() < 2) return;
+  const Time delay = sched_->hedge_delay(pr.ctl[span_idx].target);
+  if (delay <= Time::zero()) return;
+  pr.ctl[span_idx].hedge_timer =
+      sim().after(delay, [this, id, span_idx] { on_hedge_timer(id, span_idx); });
+}
+
+void PfsClient::on_hedge_timer(RequestId id, u32 span_idx) {
+  PendingRead* pr = pending_.find(static_cast<u64>(id));
+  if (pr == nullptr) return;  // completed in the same tick
+  StripCtl& ctl = pr->ctl[span_idx];
+  ctl.hedge_timer.reset();  // fired — the handle must not be cancelled again
+  if (bit_test(bits_of(pr->spans, pr->nspans), span_idx)) return;
+  // No reply within hedge_quantile x the expected latency: issue a
+  // duplicate on the other path and let the first arrival win (the loser's
+  // reply hits the dedup bitmap like any stale retransmit).
+  ctl.hedge_target = static_cast<u32>(sched_->hedge_target(
+      static_cast<u64>(pr->spans[span_idx].server), ctl.target));
+  ctl.hedged = true;
+  ctl.hedge_sent_at = now();
+  ++stats_.hedges_issued;
+  SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsHedge,
+                     now(), self_, kNoCore, id, static_cast<i64>(span_idx),
+                     static_cast<i64>(ctl.hedge_target),
+                     (now() - ctl.sent_at).picoseconds());
+  send_strip_copy(id, *pr, span_idx, ctl.hedge_target);
+}
+
+void PfsClient::note_read_strip(PendingRead& pr, u64 span_idx,
+                                const net::Packet& p, Time at) {
+  StripCtl& ctl = pr.ctl[span_idx];
+  sim().cancel_if_armed(ctl.hedge_timer);
+  const u64 src = server_index_of(p.src);
+  if (ctl.hedged && src == ctl.hedge_target && ctl.hedge_target != ctl.target) {
+    // The duplicate beat the primary: the hedge paid for itself.
+    ++stats_.hedges_won;
+    sched_->record_rtt(src, at - ctl.hedge_sent_at);
+    return;
+  }
+  if (ctl.hedged) ++stats_.hedges_wasted;
+  sched_->record_rtt(ctl.target, at - ctl.sent_at);
 }
 
 RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
@@ -140,6 +253,10 @@ RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
   ++stats_.writes_issued;
   PendingWrite& stored =
       pending_writes_.emplace(static_cast<u64>(id), std::move(pw));
+  // Write data must land on the owning server (no redirect, no hedging),
+  // but acks still feed the per-server estimator — a slow server's write
+  // path is just as slow, and samples from writes warm the read dispatch.
+  if (sched_ != nullptr) stored.ctl = alloc_ctl_block(nspans);
   for (u32 s = 0; s < stored.nspans; ++s) {
     send_strip_write(id, stored, s);
   }
@@ -147,9 +264,13 @@ RequestId PfsClient::write(ProcessId proc, std::optional<CoreId> hint,
   return id;
 }
 
-void PfsClient::send_strip_write(RequestId id, const PendingWrite& pw,
+void PfsClient::send_strip_write(RequestId id, PendingWrite& pw,
                                  u64 span_idx) {
   const StripSpan& span = pw.spans[span_idx];
+  if (pw.ctl != nullptr) {
+    pw.ctl[span_idx].target = static_cast<u32>(span.server);
+    pw.ctl[span_idx].sent_at = now();
+  }
   net::Packet data;
   data.id = next_packet_id_++;
   data.kind = net::PacketKind::kPfsWriteData;
@@ -182,6 +303,12 @@ void PfsClient::on_write_ack(const net::Packet& p, CoreId handler, Time at) {
     return;
   }
   bit_set(acked, s);
+  // Same reset-on-progress as the read path: an ack proves the path is
+  // alive, so later timeouts of this request restart from base.
+  pw->current_timeout = cfg_.retransmit_timeout;
+  if (pw->ctl != nullptr) {
+    sched_->record_rtt(pw->ctl[s].target, at - pw->ctl[s].sent_at);
+  }
   SAISIM_CHECK(pw->outstanding > 0);
   if (--pw->outstanding > 0) return;
 
@@ -195,6 +322,7 @@ void PfsClient::on_write_ack(const net::Packet& p, CoreId handler, Time at) {
   result.retransmitted_strips = pw->retransmitted;
   result.final_handler = handler;
   auto cb = std::move(pw->on_complete);
+  if (pw->ctl != nullptr) release_ctl_block(pw->ctl, pw->nspans);
   release_span_block(pw->spans, pw->nspans);
   pending_writes_.erase(static_cast<u64>(p.request));
   ++stats_.writes_completed;
@@ -235,6 +363,10 @@ void PfsClient::on_timeout(RequestId id) {
                   "retransmitting strip " << s << " of request " << id
                                           << " (retries left "
                                           << pr->retries_left << ")");
+    // Retransmits supersede hedging: both copies are now being re-sent by
+    // the RTO machinery, so a still-armed hedge timer for this strip is
+    // disarmed rather than left to fire a third copy.
+    if (pr->ctl != nullptr) sim().cancel_if_armed(pr->ctl[s].hedge_timer);
     send_strip_request(id, *pr, s);
   }
   pr->current_timeout = backoff(pr->current_timeout);
@@ -263,6 +395,14 @@ void PfsClient::fail_read(RequestId id) {
                      static_cast<i64>(result.retransmitted_strips));
   auto cb = std::move(pr->on_complete);
   address_space_.release(pr->buffer);
+  if (pr->ctl != nullptr) {
+    // Lost strips may still carry an armed hedge timer; disarm before the
+    // entry (and with it the handles) goes away.
+    for (u32 i = 0; i < pr->nspans; ++i) {
+      sim().cancel_if_armed(pr->ctl[i].hedge_timer);
+    }
+    release_ctl_block(pr->ctl, pr->nspans);
+  }
   release_span_block(pr->spans, pr->nspans);
   pending_.erase(static_cast<u64>(id));
   ++stats_.reads_failed;
@@ -317,6 +457,7 @@ void PfsClient::fail_write(RequestId id) {
                          << " strips unacked after "
                          << result.retransmitted_strips << " retransmits");
   auto cb = std::move(pw->on_complete);
+  if (pw->ctl != nullptr) release_ctl_block(pw->ctl, pw->nspans);
   release_span_block(pw->spans, pw->nspans);
   pending_writes_.erase(static_cast<u64>(id));
   ++stats_.writes_failed;
@@ -377,6 +518,13 @@ void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   }
   bit_set(received, s);
   ++stats_.strips_received;
+  // Progress resets the RTO to base: backoff doubles to absorb congestion,
+  // but once any strip of this request lands the path is demonstrably
+  // alive, and letting one early loss inflate every later timeout of the
+  // same request just stretches its recovery (pre-fix behaviour). A no-op
+  // on the lossless path, where current_timeout never left base.
+  pr->current_timeout = cfg_.retransmit_timeout;
+  if (pr->ctl != nullptr) note_read_strip(*pr, s, p, at);
   SAISIM_TRACE_EVENT(util::Subsystem::kPfs, trace::EventType::kPfsStrip, at,
                      self_, handler, p.request, static_cast<i64>(s),
                      static_cast<i64>(p.payload_bytes));
@@ -395,6 +543,15 @@ void PfsClient::on_rx(const net::Packet& p, CoreId handler, Time at) {
   result.retransmitted_strips = pr->retransmitted;
   result.final_handler = handler;
   auto cb = std::move(pr->on_complete);
+  if (pr->ctl != nullptr) {
+    // Every strip arrived, so per-strip arrival already disarmed each hedge
+    // timer; the sweep is belt-and-braces against future early-complete
+    // paths (cancel_if_armed no-ops on reset handles).
+    for (u32 i = 0; i < pr->nspans; ++i) {
+      sim().cancel_if_armed(pr->ctl[i].hedge_timer);
+    }
+    release_ctl_block(pr->ctl, pr->nspans);
+  }
   release_span_block(pr->spans, pr->nspans);
   pending_.erase(static_cast<u64>(p.request));
   ++stats_.reads_completed;

@@ -10,11 +10,13 @@
 // client behaves like an unmodified PVFS client.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "mem/address_space.hpp"
 #include "net/nic.hpp"
+#include "pfs/straggler_sched.hpp"
 #include "pfs/stripe_layout.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
@@ -76,6 +78,12 @@ struct PfsClientStats {
   u64 strips_written = 0;
   u64 retransmits = 0;
   u64 duplicate_strips = 0;
+  /// Hedged-read accounting (straggler_aware + hedge_quantile > 0 only):
+  /// duplicates sent, hedges whose copy arrived first, hedges whose
+  /// primary still won (the duplicate was wasted downlink).
+  u64 hedges_issued = 0;
+  u64 hedges_won = 0;
+  u64 hedges_wasted = 0;
   stats::Summary read_latency_us;
   stats::Summary write_latency_us;
   /// Integer-µs read-latency distribution, merged into the run's
@@ -104,7 +112,8 @@ class PfsClient : public sim::Actor {
   PfsClient(sim::Simulation& simulation, net::Network& network,
             net::ClientNic& nic, NodeId self, StripeLayout layout,
             std::vector<NodeId> server_nodes, NodeId meta_node,
-            mem::AddressSpace& address_space, PfsClientConfig config = {});
+            mem::AddressSpace& address_space, PfsClientConfig config = {},
+            ClientSchedConfig sched_config = {});
 
   /// Metadata open round-trip; `on_open` fires when the layout arrives.
   void open(ProcessId proc, OpenCallback on_open);
@@ -133,6 +142,9 @@ class PfsClient : public sim::Actor {
   const PfsClientStats& stats() const { return stats_; }
   const StripeLayout& layout() const { return layout_; }
 
+  /// The straggler-aware dispatch stage, or nullptr under policy = fifo.
+  const StragglerScheduler* scheduler() const { return sched_.get(); }
+
   /// Requests issued but not yet completed (reads + writes) — the
   /// in-flight gauge the telemetry sampler reads.
   u64 inflight_requests() const {
@@ -144,10 +156,25 @@ class PfsClient : public sim::Actor {
   // followed by a completion bitmap of (nspans+63)/64 u64 words. The block
   // is released back to the arena when the request completes or fails, so
   // steady-state issue/complete cycles allocate nothing.
+  // Per-strip dispatch control, allocated (one arena block of nspans
+  // entries per request) only when the straggler scheduler is active:
+  // which server each copy went to and when, plus the armed hedge timer.
+  // Under policy = fifo no block exists and the request layout is exactly
+  // the pre-scheduler client's.
+  struct StripCtl {
+    sim::EventHandle hedge_timer;
+    Time sent_at = Time::zero();        // last primary-copy transmit
+    Time hedge_sent_at = Time::zero();  // hedged-copy transmit
+    u32 target = 0;                     // server index of the primary copy
+    u32 hedge_target = 0;               // server index of the hedged copy
+    bool hedged = false;
+  };
+
   struct PendingRead {
     ProcessId proc = -1;
     std::optional<CoreId> hint;
     StripSpan* spans = nullptr;  // arena block; bitmap words follow
+    StripCtl* ctl = nullptr;     // arena block, scheduler active only
     u32 nspans = 0;
     u32 outstanding = 0;
     u32 retransmitted = 0;
@@ -164,6 +191,7 @@ class PfsClient : public sim::Actor {
     ProcessId proc = -1;
     std::optional<CoreId> hint;
     StripSpan* spans = nullptr;  // arena block; ack bitmap words follow
+    StripCtl* ctl = nullptr;     // estimator feed only (no write hedging)
     u32 nspans = 0;
     u32 outstanding = 0;
     u32 retransmitted = 0;
@@ -200,10 +228,19 @@ class PfsClient : public sim::Actor {
 
   StripSpan* alloc_span_block(u32 nspans);
   void release_span_block(StripSpan* spans, u32 nspans);
+  StripCtl* alloc_ctl_block(u32 nspans);
+  void release_ctl_block(StripCtl* ctl, u32 nspans);
 
   void on_rx(const net::Packet& p, CoreId handler, Time at);
-  void send_strip_request(RequestId id, const PendingRead& pr, u64 span_idx);
-  void send_strip_write(RequestId id, const PendingWrite& pw, u64 span_idx);
+  void send_strip_request(RequestId id, PendingRead& pr, u64 span_idx);
+  void send_strip_copy(RequestId id, const PendingRead& pr, u64 span_idx,
+                       u64 server_idx);
+  void arm_hedge(RequestId id, PendingRead& pr, u32 span_idx);
+  void on_hedge_timer(RequestId id, u32 span_idx);
+  void note_read_strip(PendingRead& pr, u64 span_idx, const net::Packet& p,
+                       Time at);
+  u64 server_index_of(NodeId node) const;
+  void send_strip_write(RequestId id, PendingWrite& pw, u64 span_idx);
   void send_open_request(RequestId id, const PendingOpen& po);
   void on_write_ack(const net::Packet& p, CoreId handler, Time at);
   void arm_timeout(RequestId id);
@@ -224,7 +261,14 @@ class PfsClient : public sim::Actor {
   NodeId meta_node_;
   mem::AddressSpace& address_space_;
   PfsClientConfig cfg_;
+  ClientSchedConfig sched_cfg_;
   RequestDecorator decorator_;
+  /// Straggler-aware dispatch stage; null under policy = fifo so the
+  /// default path never consults it.
+  std::unique_ptr<StragglerScheduler> sched_;
+  /// Scratch for the dispatch reorder (slowest expected target first);
+  /// reused across reads so steady state allocates nothing.
+  std::vector<u32> issue_order_;
 
   util::Arena arena_;
   util::FlatIdMap<PendingRead> pending_;

@@ -34,6 +34,18 @@ class Simulation {
 
   void cancel(EventHandle h) { queue_.cancel(h); }
 
+  /// Cancel `h` only if it is still armed, and null it either way. The
+  /// queue's plain cancel() treats double-cancel / cancel-after-fire as a
+  /// checked error (callers own their handles); paths where an event may
+  /// legitimately have fired or been cancelled already — e.g. a hedge
+  /// timer raced by its strip's reply, or cleanup sweeping a mixed set of
+  /// per-strip timers — go through here instead of open-coding the guard.
+  void cancel_if_armed(EventHandle& h) {
+    if (!h.valid()) return;
+    queue_.cancel(h);
+    h.reset();
+  }
+
   /// Run one event. Returns false when the queue is empty.
   bool step() {
     if (queue_.empty()) return false;

@@ -74,6 +74,18 @@ constexpr MetricColumn kColumns[] = {
      [](const RunMetrics& m) {
        return stats::Table::Cell{static_cast<i64>(m.first_slo_breach_us)};
      }},
+    {"hedges_issued",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.hedges_issued)};
+     }},
+    {"hedges_won",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.hedges_won)};
+     }},
+    {"hedges_wasted",
+     [](const RunMetrics& m) {
+       return stats::Table::Cell{static_cast<i64>(m.hedges_wasted)};
+     }},
 };
 
 }  // namespace

@@ -34,6 +34,7 @@
 //   server.flush        server      -             blocks flushed  burst ps     -
 //   meta.lookup         meta        -             queue depth     queue wait ps -
 //   telemetry.slo_breach -          -             sampled value   threshold    sample index
+//   pfs.hedge           client      -             strip index     hedge server elapsed ps
 #pragma once
 
 #include "util/subsystem.hpp"
@@ -69,8 +70,9 @@ enum class EventType : u8 {
   kServerFlush,
   kMetaLookup,
   kSloBreach,
+  kPfsHedge,
 };
-inline constexpr int kNumEventTypes = 26;
+inline constexpr int kNumEventTypes = 27;
 
 inline constexpr const char* kEventNames[kNumEventTypes] = {
     "nic.rx",
@@ -99,6 +101,7 @@ inline constexpr const char* kEventNames[kNumEventTypes] = {
     "server.flush",
     "meta.lookup",
     "telemetry.slo_breach",
+    "pfs.hedge",
 };
 
 inline constexpr const char* event_name(EventType t) {
@@ -115,7 +118,7 @@ inline constexpr util::Subsystem event_subsystem(EventType t) {
       S::kPfs,      S::kPfs,      S::kPfs,      S::kWorkload, S::kWorkload,
       S::kWorkload, S::kWorkload, S::kNet,      S::kNet,      S::kNet,
       S::kPfs,      S::kPfs,      S::kPfs,      S::kPfs,      S::kPfs,
-      S::kCore,
+      S::kCore,     S::kPfs,
   };
   return map[static_cast<u8>(t)];
 }

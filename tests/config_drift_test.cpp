@@ -24,20 +24,21 @@ TEST(ConfigDrift, DescribedLeafCounts) {
   EXPECT_EQ(count_fields<mem::CacheConfig>(), 3u);
   EXPECT_EQ(count_fields<mem::MemoryTimings>(), 4u);
   EXPECT_EQ(count_fields<net::NicConfig>(), 8u);
-  EXPECT_EQ(count_fields<net::FaultConfig>(), 9u);
+  EXPECT_EQ(count_fields<net::FaultConfig>(), 10u);
   EXPECT_EQ(count_fields<pfs::IoServerConfig>(), 4u);
   EXPECT_EQ(count_fields<pfs::BufferCacheConfig>(), 9u);
   EXPECT_EQ(count_fields<pfs::ServerSchedConfig>(), 5u);
+  EXPECT_EQ(count_fields<pfs::ClientSchedConfig>(), 6u);
   EXPECT_EQ(count_fields<pfs::MetaServerConfig>(), 2u);
   EXPECT_EQ(count_fields<pfs::PfsClientConfig>(), 4u);
   EXPECT_EQ(count_fields<workload::IorConfig>(), 13u);
   EXPECT_EQ(count_fields<workload::BackgroundConfig>(), 3u);
-  EXPECT_EQ(count_fields<ClientMachineConfig>(), 24u);
+  EXPECT_EQ(count_fields<ClientMachineConfig>(), 30u);
   EXPECT_EQ(count_fields<ServerMachineConfig>(), 19u);
   EXPECT_EQ(count_fields<SimKernelConfig>(), 2u);
   EXPECT_EQ(count_fields<trace::TelemetrySloConfig>(), 4u);
   EXPECT_EQ(count_fields<trace::TelemetryConfig>(), 7u);
-  EXPECT_EQ(count_fields<ExperimentConfig>(), 89u);
+  EXPECT_EQ(count_fields<ExperimentConfig>(), 96u);
   EXPECT_EQ(count_fields<memsim::MemsimConfig>(), 23u);
   EXPECT_EQ(count_fields<realmem::RealMemConfig>(), 8u);
 }
@@ -50,7 +51,8 @@ TEST(ConfigDrift, CompositeCountsAreSumsOfParts) {
                 count_fields<mem::MemoryTimings>() + 1u /* dram_bandwidth */ +
                 count_fields<net::NicConfig>() +
                 2u /* nic_bandwidth, user_quantum */ +
-                count_fields<pfs::PfsClientConfig>());
+                count_fields<pfs::PfsClientConfig>() +
+                count_fields<pfs::ClientSchedConfig>());
   EXPECT_EQ(count_fields<ServerMachineConfig>(),
             count_fields<pfs::IoServerConfig>() +
                 count_fields<pfs::BufferCacheConfig>() +
@@ -81,20 +83,21 @@ TEST(ConfigDrift, StructSizesMatchDescribedLayout) {
   EXPECT_EQ(sizeof(mem::CacheConfig), 24u);
   EXPECT_EQ(sizeof(mem::MemoryTimings), 32u);
   EXPECT_EQ(sizeof(net::NicConfig), 56u);
-  EXPECT_EQ(sizeof(net::FaultConfig), 72u);
+  EXPECT_EQ(sizeof(net::FaultConfig), 80u);
   EXPECT_EQ(sizeof(pfs::IoServerConfig), 32u);
   EXPECT_EQ(sizeof(pfs::BufferCacheConfig), 56u);
   EXPECT_EQ(sizeof(pfs::ServerSchedConfig), 32u);
+  EXPECT_EQ(sizeof(pfs::ClientSchedConfig), 40u);
   EXPECT_EQ(sizeof(pfs::MetaServerConfig), 16u);
   EXPECT_EQ(sizeof(pfs::PfsClientConfig), 32u);
   EXPECT_EQ(sizeof(workload::IorConfig), 96u);
   EXPECT_EQ(sizeof(workload::BackgroundConfig), 24u);
-  EXPECT_EQ(sizeof(ClientMachineConfig), 184u);
+  EXPECT_EQ(sizeof(ClientMachineConfig), 224u);
   EXPECT_EQ(sizeof(ServerMachineConfig), 128u);
   EXPECT_EQ(sizeof(SimKernelConfig), 16u);
   EXPECT_EQ(sizeof(trace::TelemetrySloConfig), 32u);
   EXPECT_EQ(sizeof(trace::TelemetryConfig), 56u);
-  EXPECT_EQ(sizeof(ExperimentConfig), 656u);
+  EXPECT_EQ(sizeof(ExperimentConfig), 704u);
   EXPECT_EQ(sizeof(memsim::MemsimConfig), 168u);
   EXPECT_EQ(sizeof(realmem::RealMemConfig), 48u);
 }

@@ -173,6 +173,74 @@ TEST(FaultInjector, StragglerDelaysOnlyThatSourceNode) {
   // delay separates the two arrivals.
   EXPECT_EQ(straggler_at - healthy_at, Time::ms(5));
   EXPECT_EQ(inj.stats().straggler_delays, 1u);
+  EXPECT_EQ(inj.stats().straggler_tx_delays, 1u);
+  EXPECT_EQ(inj.stats().straggler_rx_delays, 0u);
+}
+
+// The original injector matched only p.src, so the request leg *to* the
+// slow server escaped the penalty and the effective degradation was half
+// the knob. Both legs must now pay, with per-leg accounting; this test
+// fails on the pre-fix (tx-only) matching.
+TEST(FaultInjector, StragglerDelaysBothLegsThroughTheNode) {
+  sim::Simulation s;
+  Network net(s);
+  const NodeId straggler =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  const NodeId healthy =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  const NodeId healthy2 =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  const NodeId sink = net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  Time to_straggler_at = Time::zero();
+  Time to_sink_at = Time::zero();
+  net.set_receiver(straggler, [&](Packet) { to_straggler_at = s.now(); });
+  net.set_receiver(sink, [&](Packet) { to_sink_at = s.now(); });
+
+  FaultConfig cfg;
+  cfg.straggler_node = straggler;
+  cfg.straggler_delay = Time::ms(5);
+  FaultInjector inj(cfg);
+  net.set_fault_injector(&inj);
+  // Distinct senders so the probes never share a TX link: any arrival skew
+  // is the injector's doing.
+  net.send(make_packet(healthy, straggler));   // the request leg
+  net.send(make_packet(healthy2, sink));       // control: same link timing
+  s.run();
+  EXPECT_EQ(to_straggler_at - to_sink_at, Time::ms(5));
+  EXPECT_EQ(inj.stats().straggler_delays, 1u);
+  EXPECT_EQ(inj.stats().straggler_tx_delays, 0u);
+  EXPECT_EQ(inj.stats().straggler_rx_delays, 1u);
+}
+
+// straggler_bidirectional = false restores the legacy one-directional
+// matching (for comparison sweeps): the request leg escapes again.
+TEST(FaultInjector, StragglerBidirectionalOffRestoresTxOnlyMatching) {
+  sim::Simulation s;
+  Network net(s);
+  const NodeId straggler =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  const NodeId healthy =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  const NodeId healthy2 =
+      net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  const NodeId sink = net.add_node(Bandwidth::gbit(1.0), Bandwidth::gbit(1.0));
+  Time to_straggler_at = Time::zero();
+  Time to_sink_at = Time::zero();
+  net.set_receiver(straggler, [&](Packet) { to_straggler_at = s.now(); });
+  net.set_receiver(sink, [&](Packet) { to_sink_at = s.now(); });
+
+  FaultConfig cfg;
+  cfg.straggler_node = straggler;
+  cfg.straggler_delay = Time::ms(5);
+  cfg.straggler_bidirectional = false;
+  FaultInjector inj(cfg);
+  net.set_fault_injector(&inj);
+  net.send(make_packet(healthy, straggler));
+  net.send(make_packet(healthy2, sink));
+  s.run();
+  EXPECT_EQ(to_straggler_at, to_sink_at);  // rx leg unpenalized again
+  EXPECT_EQ(inj.stats().straggler_delays, 0u);
+  EXPECT_EQ(inj.stats().straggler_rx_delays, 0u);
 }
 
 TEST(FaultInjector, DegradationStretchesOnlyTheWindow) {

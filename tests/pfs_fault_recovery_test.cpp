@@ -173,6 +173,50 @@ TEST_F(FaultFixture, RtoBackoffIsCappedAtConfiguredCeiling) {
   EXPECT_EQ(result->completed_at - result->issued_at, Time::ms(500));
 }
 
+// backoff() used to keep doubling from wherever current_timeout had
+// climbed, even after strips started landing — one early loss inflated
+// every later timeout of the same request. Progress must reset the RTO to
+// base. Timeline (base 100ms, no cap, budget 3): timeouts fire at 100
+// (retry 1) and 300ms (retry 2); a strip hand-delivered at 250ms resets
+// the RTO, so retry 3 fires at 500ms and the budget exhausts at 900ms.
+// Pre-fix the doubling continued 400→800 and failure came at 1500ms.
+TEST_F(FaultFixture, StripProgressResetsRtoToBase) {
+  PfsClientConfig pc;
+  pc.retransmit_timeout = Time::ms(100);
+  pc.max_retransmit_timeout = Time::sec(10);  // cap out of the way
+  pc.max_retransmits = 3;
+  build({}, pc);
+
+  // Black-hole every server: requests vanish without a drop record, so
+  // the only data the client ever sees is what this test injects.
+  for (NodeId n : server_nodes) net.set_receiver(n, [](net::Packet) {});
+
+  std::optional<ReadResult> result;
+  client->read(1, std::nullopt, 0, 128ull << 10,  // 2 strips, servers 0+1
+               [&](const ReadResult& r) { result = r; });
+
+  // Mid-backoff (between the retry-1 and retry-2 timeouts), deliver strip
+  // 0 by hand. on_rx keys purely off request/strip_index, and dma_write
+  // does not validate the landing address, so a minimal packet suffices.
+  s.after(Time::ms(250), [&] {
+    net::Packet reply;
+    reply.kind = net::PacketKind::kPfsData;
+    reply.src = server_nodes[0];
+    reply.dst = nic->node();
+    reply.request = 1;
+    reply.strip_index = 0;
+    reply.payload_bytes = 64ull << 10;
+    net.send(std::move(reply));
+  });
+
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->failed);
+  EXPECT_EQ(result->strips, 2u);
+  EXPECT_EQ(result->lost_strips, 1u);  // strip 0 landed, strip 1 never did
+  EXPECT_EQ(result->completed_at - result->issued_at, Time::ms(900));
+}
+
 TEST_F(FaultFixture, DuplicateMetaReplyIsCountedNotFatal) {
   build();
   bool opened = false;

@@ -50,7 +50,8 @@ TEST(SweepExport, MetricColumnOrderIsStable) {
                 "retransmits", "rx_drops", "hinted_interrupt_share_x1e4",
                 "duplicate_strips", "failed_requests",
                 "p99_read_latency_us", "slo_breaches",
-                "first_slo_breach_us"}));
+                "first_slo_breach_us", "hedges_issued", "hedges_won",
+                "hedges_wasted"}));
 }
 
 TEST(SweepExport, CsvGolden) {
@@ -59,11 +60,12 @@ TEST(SweepExport, CsvGolden) {
       "unhalted_cycles,softirq_cycles,mean_read_latency_us,elapsed_us,"
       "total_bytes,c2c_transfers,interrupts,retransmits,rx_drops,"
       "hinted_interrupt_share_x1e4,duplicate_strips,failed_requests,"
-      "p99_read_latency_us,slo_breaches,first_slo_breach_us\n"
-      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0\n"
-      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0,0,0,0,0,0\n"
-      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0,0,0,0,0,0\n"
-      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0,0,0,0,0,0\n";
+      "p99_read_latency_us,slo_breaches,first_slo_breach_us,hedges_issued,"
+      "hedges_won,hedges_wasted\n"
+      "\"a\"\"b\",irq,1.5,0,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+      "\"a\"\"b\",sais,2.5,0,0,0,0,0,0,2,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+      "\"line1\nline2\",irq,3.25,0,0,0,0,0,0,3,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+      "\"line1\nline2\",sais,4.125,0,0,0,0,0,0,4,0,0,0,0,0,0,0,0,0,0,0,0,0\n";
   EXPECT_EQ(to_csv(tiny_result()), want);
 }
 
@@ -79,7 +81,8 @@ TEST(SweepExport, JsonGolden) {
            "\"rx_drops\":0,\"hinted_interrupt_share_x1e4\":0,"
            "\"duplicate_strips\":0,\"failed_requests\":0,"
            "\"p99_read_latency_us\":0,\"slo_breaches\":0,"
-           "\"first_slo_breach_us\":0}";
+           "\"first_slo_breach_us\":0,\"hedges_issued\":0,\"hedges_won\":0,"
+           "\"hedges_wasted\":0}";
   };
   const std::string want =
       std::string(
@@ -90,7 +93,8 @@ TEST(SweepExport, JsonGolden) {
           "\"retransmits\",\"rx_drops\",\"hinted_interrupt_share_x1e4\","
           "\"duplicate_strips\",\"failed_requests\","
           "\"p99_read_latency_us\",\"slo_breaches\","
-          "\"first_slo_breach_us\"],"
+          "\"first_slo_breach_us\",\"hedges_issued\",\"hedges_won\","
+          "\"hedges_wasted\"],"
           "\"rows\":[") +
       row("a\\\"b", "irq", "1.5", "1") + "," +
       row("a\\\"b", "sais", "2.5", "2") + "," +
